@@ -1,0 +1,76 @@
+//===- bench/Common.h - Shared benchmark harness helpers --------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/per-table bench binaries.  Every binary
+/// runs with no arguments; GPUSTM_SCALE=<n> (environment) stretches data
+/// sizes and thread counts toward the paper's magnitudes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_BENCH_COMMON_H
+#define GPUSTM_BENCH_COMMON_H
+
+#include "support/EnvOptions.h"
+#include "support/Format.h"
+#include "workloads/All.h"
+#include "workloads/Harness.h"
+
+#include <cstdio>
+
+namespace gpustm {
+namespace bench {
+
+/// Scale factor from the environment (default 1).
+inline unsigned benchScale() {
+  return static_cast<unsigned>(envUnsigned("GPUSTM_SCALE", 1));
+}
+
+/// Banner naming the experiment and the paper artifact it regenerates.
+inline void printBanner(const char *Title, const char *PaperArtifact) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", Title);
+  std::printf("Reproduces: %s  (GPU-STM, CGO 2014)\n", PaperArtifact);
+  std::printf("Scale: %u (set GPUSTM_SCALE to change)\n", benchScale());
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+/// "3.42x" style speedup cell.
+inline std::string fmtSpeedup(double S) { return formatString("%.2fx", S); }
+
+/// "12.3%" style percentage cell.
+inline std::string fmtPercent(double P) { return formatString("%.1f%%", 100 * P); }
+
+/// The per-thread STM variants of Figure 2 in paper order (CGL is the
+/// baseline, not listed).
+inline std::vector<stm::Variant> figure2Variants() {
+  return {stm::Variant::EGPGV,     stm::Variant::VBV,
+          stm::Variant::TBVSorting, stm::Variant::HVSorting,
+          stm::Variant::HVBackoff, stm::Variant::Optimized};
+}
+
+/// Paper-shaped (scaled) launch configuration for each workload, modeled on
+/// Table 2.
+inline std::vector<simt::LaunchConfig>
+launchFor(const std::string &Name, unsigned Scale) {
+  using simt::LaunchConfig;
+  if (Name == "RA" || Name == "HT" || Name == "EB")
+    return {LaunchConfig{32u * Scale, 256}};
+  if (Name == "GN") // Two kernels: wide dedup, narrow linking (Table 2).
+    return {LaunchConfig{32u * Scale, 256}, LaunchConfig{16u * Scale, 64}};
+  if (Name == "LB") // One transactional thread per block.
+    return {LaunchConfig{64u * Scale, 32}};
+  if (Name == "KM") // Small blocks: high conflict limits concurrency.
+    return {LaunchConfig{64u * Scale, 8}};
+  return {LaunchConfig{32u * Scale, 256}};
+}
+
+} // namespace bench
+} // namespace gpustm
+
+#endif // GPUSTM_BENCH_COMMON_H

@@ -1,0 +1,121 @@
+//===- bench/ablate_locksort.cpp - Lock-sorting ablation ------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Ablation for the paper's Section 3.1 livelock argument: commit-time
+// locking with
+//   (a) no defense (unsorted logs, lockstep retry)  -> intra-warp circular
+//       locking livelocks; the run trips the simulator watchdog,
+//   (b) encounter-time lock-sorting                 -> completes, and
+//   (c) the GPU-specific warp-serialized backoff    -> completes, slower
+//       under contention.
+//
+// Part 1 uses the adversarial reverse-order pattern of Section 2.2 /
+// 3.2.2; part 2 compares (b) and (c) on RA as the conflict rate rises
+// (smaller array => more conflicts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+#include "workloads/RandomArray.h"
+
+using namespace gpustm;
+using namespace gpustm::bench;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+namespace {
+
+/// The paper's reverse-order locking pattern inside one warp.
+void runCircularPattern(bool Sorted) {
+  simt::DeviceConfig DC;
+  DC.MemoryWords = 8u << 20;
+  DC.WatchdogRounds = 300000;
+  simt::Device Dev(DC);
+  Addr X = Dev.hostAlloc(1);
+  Addr Y = Dev.hostAlloc(1);
+  simt::LaunchConfig L{1, 2};
+  stm::StmConfig SC;
+  SC.Kind = stm::Variant::HVSorting;
+  SC.NumLocks = 1u << 12;
+  SC.DisableSorting = !Sorted;
+  SC.PreLockValidation = false;
+  stm::StmRuntime Stm(Dev, SC, L);
+  simt::LaunchResult R = Dev.launch(L, [&](simt::ThreadCtx &Ctx) {
+    bool IsT1 = Ctx.globalThreadId() == 0;
+    Addr First = IsT1 ? X : Y;
+    Addr Second = IsT1 ? Y : X;
+    Stm.transaction(Ctx, [&](stm::Tx &T) {
+      Word A = T.read(First);
+      if (!T.valid())
+        return;
+      Word B = T.read(Second);
+      if (!T.valid())
+        return;
+      T.write(First, A + 1);
+      T.write(Second, B + 1);
+    });
+  });
+  std::printf("  %-22s %s\n", Sorted ? "encounter-time sorting" : "no sorting",
+              R.Completed ? formatString("completed in %llu cycles",
+                                         static_cast<unsigned long long>(
+                                             R.ElapsedCycles))
+                                .c_str()
+                          : "LIVELOCK (watchdog tripped)");
+}
+
+} // namespace
+
+int main() {
+  unsigned Scale = benchScale();
+  printBanner("Ablation: encounter-time lock-sorting vs alternatives",
+              "Sections 2.2, 3.1 (livelock-freedom)");
+
+  std::printf("\nPart 1: reverse-order locking inside one warp "
+              "(T1: X then Y, T2: Y then X)\n");
+  runCircularPattern(/*Sorted=*/false);
+  runCircularPattern(/*Sorted=*/true);
+
+  std::printf("\nPart 2: sorting vs warp-serialized backoff vs the adaptive "
+              "selector (paper future work) on RA as conflicts rise\n");
+  std::printf("%-12s %15s %12s %15s %12s %15s %12s\n", "array-words", "sorted",
+              "aborts", "backoff", "aborts", "adaptive", "aborts");
+  for (size_t ArrayWords : {1u << 18, 1u << 14, 1u << 11}) {
+    uint64_t Cycles[3];
+    double Aborts[3];
+    for (int I = 0; I < 3; ++I) {
+      RandomArray::Params P;
+      P.ArrayWords = ArrayWords;
+      P.NumTx = 8192 * Scale;
+      RandomArray W(P);
+      HarnessConfig HC;
+      HC.Kind = I == 1 ? stm::Variant::HVBackoff : stm::Variant::HVSorting;
+      HC.AdaptiveLocking = I == 2;
+      HC.Launches = {{32u * Scale, 256}};
+      HC.NumLocks = 1u << 16;
+      HarnessResult R = runWorkload(W, HC);
+      Cycles[I] = R.Completed && R.Verified ? R.TotalCycles : 0;
+      Aborts[I] = R.abortRate();
+    }
+    std::printf("%-12s %15llu %12s %15llu %12s %15llu %12s\n",
+                formatCount(ArrayWords).c_str(),
+                static_cast<unsigned long long>(Cycles[0]),
+                fmtPercent(Aborts[0]).c_str(),
+                static_cast<unsigned long long>(Cycles[1]),
+                fmtPercent(Aborts[1]).c_str(),
+                static_cast<unsigned long long>(Cycles[2]),
+                fmtPercent(Aborts[2]).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\nSorting guarantees livelock-freedom with no backoff "
+              "machinery or tuning.  In this cycle model the warp-serialized "
+              "backoff is competitive at low conflict (lock-sorted retries "
+              "convoy behind the contended lock), while sorting pulls ahead "
+              "as conflicts rise.  The adaptive selector (epsilon-greedy "
+              "over windowed throughput) tracks its estimates but "
+              "demonstrates why the paper left this as future work: windows "
+              "mix in-flight policies and contention is non-stationary, so "
+              "short kernels give it noisy signals.  See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- bench/fig5_breakdown.cpp - Figure 5: time breakdown ----------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Regenerates Figure 5: "Execution time breakdown of a single-thread" under
+// STM-Optimized for GN-1, GN-2, LB and KM: native-code execution,
+// transaction initialization, buffering, consistency checking,
+// acquiring/releasing locks, committing, and aborted transactions.
+// (The paper omits the micro-benchmarks here because they are all
+// transactional work.)
+//
+// Expected shape (paper Section 4.4):
+//   * GN-2 is dominated by STM overhead (high tx-time proportion, reads
+//     and writes dominate its transactions).
+//   * LB and KM have large read/write sets => visible buffering share.
+//   * Single-thread runs abort nothing, so the aborted share is ~0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+using namespace gpustm;
+using namespace gpustm::bench;
+using namespace gpustm::workloads;
+
+namespace {
+
+struct Row {
+  const char *Label;
+  const char *WorkloadName;
+  unsigned KernelIndex; ///< ~0u = all kernels.
+};
+
+} // namespace
+
+int main() {
+  printBanner("Figure 5: single-thread execution time breakdown "
+              "(STM-Optimized)",
+              "Figure 5");
+
+  const Row Rows[] = {
+      {"GN-1", "GN", 0},
+      {"GN-2", "GN", 1},
+      {"LB", "LB", ~0u},
+      {"KM", "KM", ~0u},
+  };
+  const char *Phases[] = {"native", "tx-init",    "buffering",
+                          "consistency", "locking", "commit",
+                          "aborted"};
+
+  std::printf("%-6s", "WL");
+  for (const char *P : Phases)
+    std::printf(" %12s", P);
+  std::printf("\n");
+
+  for (const Row &R : Rows) {
+    // One thread: a 1x1 launch measures pure per-transaction overhead.
+    auto W = makeWorkload(R.WorkloadName, 1);
+    HarnessConfig HC;
+    HC.Kind = stm::Variant::Optimized;
+    HC.NumLocks = 1u << 16;
+    HC.Launches = {{1, 1}, {1, 1}};
+
+    // Trim task counts through the scale-1 defaults; a single thread only
+    // needs enough transactions for stable proportions, so run the stock
+    // workload but on one thread (tasks all execute serially).
+    HarnessResult HR = runWorkload(*W, HC);
+    if (!HR.Completed || !HR.Verified) {
+      std::printf("%-6s FAILED (%s)\n", R.Label, HR.Error.c_str());
+      continue;
+    }
+
+    const StatsSet &S =
+        R.KernelIndex == ~0u ? HR.Sim : HR.KernelSim[R.KernelIndex];
+    uint64_t Total = 0;
+    uint64_t Vals[7] = {};
+    static const char *Keys[] = {
+        "cycles.native",      "cycles.tx-init", "cycles.buffering",
+        "cycles.consistency", "cycles.locking", "cycles.commit",
+        "cycles.aborted"};
+    for (int I = 0; I < 7; ++I) {
+      Vals[I] = S.get(Keys[I]);
+      Total += Vals[I];
+    }
+    std::printf("%-6s", R.Label);
+    for (int I = 0; I < 7; ++I)
+      std::printf(" %12s",
+                  fmtPercent(Total ? static_cast<double>(Vals[I]) / Total : 0)
+                      .c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\nShares of modeled cycles; single-thread runs, so aborted "
+              "work is ~0%% (the paper's bars show the same).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/table1_characteristics.cpp - Table 1 -------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Regenerates Table 1: "the workloads together exhibit comprehensive
+// transactional characteristics" -- shared data size, reads/writes per
+// transaction, transactions per kernel, the proportion of time spent in
+// transactions, and the conflict probability, measured under
+// STM-Optimized at the Figure 2 launch configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+using namespace gpustm;
+using namespace gpustm::bench;
+using namespace gpustm::workloads;
+
+int main() {
+  unsigned Scale = benchScale();
+  printBanner("Table 1: transactional characteristics of the workloads",
+              "Table 1");
+
+  std::printf("%-4s %-12s %-8s %-8s %-10s %-9s %-10s\n", "WL", "shared-data",
+              "RD/TX", "WR/TX", "TX/kernel", "TX-time", "conflicts");
+
+  std::vector<std::string> Names = {"RA", "HT", "EB", "GN", "LB", "KM"};
+  for (const std::string &Name : Names) {
+    auto W = makeWorkload(Name, Scale);
+    HarnessConfig HC;
+    HC.Kind = stm::Variant::Optimized;
+    HC.Launches = launchFor(Name, Scale);
+    HC.NumLocks = (64u << 10) * Scale;
+    HarnessResult R = runWorkload(*W, HC);
+    if (!R.Completed || !R.Verified) {
+      std::printf("%-4s FAILED (%s)\n", Name.c_str(), R.Error.c_str());
+      continue;
+    }
+    uint64_t Tx = R.Stm.Commits;
+    double RdPerTx = Tx ? static_cast<double>(R.Stm.TxReads) /
+                              (R.Stm.Commits + R.Stm.Aborts)
+                        : 0;
+    double WrPerTx = Tx ? static_cast<double>(R.Stm.TxWrites) /
+                              (R.Stm.Commits + R.Stm.Aborts)
+                        : 0;
+    double TxPerKernel =
+        static_cast<double>(Tx) / static_cast<double>(W->numKernels());
+    std::printf("%-4s %-12s %-8.1f %-8.1f %-10.0f %-9s %-10s\n", Name.c_str(),
+                formatCount(W->sharedDataWords()).c_str(), RdPerTx, WrPerTx,
+                TxPerKernel, fmtPercent(R.txTimeProportion()).c_str(),
+                fmtPercent(R.abortRate()).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\nShared data is in 32-bit words; RD/TX and WR/TX average "
+              "over transaction attempts; conflicts = aborts / attempts.\n");
+  return 0;
+}

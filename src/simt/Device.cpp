@@ -1,0 +1,342 @@
+//===- simt/Device.cpp - Simulated GPU device and scheduler ---------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/Device.h"
+#include "support/Error.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace gpustm;
+using namespace gpustm::simt;
+
+Device::Device(const DeviceConfig &Config)
+    : Config(Config), Mem(Config.MemoryWords), Stacks(Config.StackBytes) {
+  if (Config.WarpSize < 1 || Config.WarpSize > 64)
+    reportFatalError("warp size must be in [1, 64]");
+  if (Config.NumSMs < 1)
+    reportFatalError("device needs at least one SM");
+}
+
+Device::~Device() = default;
+
+void Device::hostFill(Addr Base, size_t NumWords, Word Value) {
+  for (size_t I = 0; I < NumWords; ++I)
+    Mem.store(Base + static_cast<Addr>(I), Value);
+}
+
+void Device::hostWrite(Addr Base, const Word *Data, size_t NumWords) {
+  std::memcpy(Mem.data() + Base, Data, NumWords * sizeof(Word));
+}
+
+void Device::hostRead(Addr Base, Word *Data, size_t NumWords) const {
+  std::memcpy(Data, Mem.data() + Base, NumWords * sizeof(Word));
+}
+
+void Device::laneEntry(void *LanePtr) {
+  Lane *L = static_cast<Lane *>(LanePtr);
+  L->Ctx.Dev->CurrentKernel(L->Ctx);
+}
+
+std::unique_ptr<BlockState> Device::buildBlock(unsigned BlockIdx,
+                                               unsigned HomeSM) {
+  auto Block = std::make_unique<BlockState>();
+  Block->BlockIdx = BlockIdx;
+  Block->HomeSM = HomeSM;
+  Block->LiveLanes = CurrentLaunch.BlockDim;
+
+  unsigned NumWarps =
+      static_cast<unsigned>(divideCeil(CurrentLaunch.BlockDim, Config.WarpSize));
+  for (unsigned W = 0; W < NumWarps; ++W) {
+    unsigned NumLanes = std::min(Config.WarpSize,
+                                 CurrentLaunch.BlockDim - W * Config.WarpSize);
+    Block->Warps.push_back(
+        std::make_unique<Warp>(*this, *Block, W, NumLanes));
+    Warp &Wp = *Block->Warps.back();
+    for (unsigned I = 0; I < NumLanes; ++I) {
+      Lane &L = Wp.lane(I);
+      L.Ctx.Dev = this;
+      L.Ctx.ParentWarp = &Wp;
+      L.Ctx.Self = &L;
+      L.Ctx.LaneIdx = I;
+      L.Ctx.WarpIdxInBlock = W;
+      L.Ctx.ThreadIdx = W * Config.WarpSize + I;
+      L.Ctx.BlockIdx = BlockIdx;
+      L.Ctx.BlockDimV = CurrentLaunch.BlockDim;
+      L.Ctx.GridDimV = CurrentLaunch.GridDim;
+      L.Ctx.WarpSizeV = Config.WarpSize;
+      L.Fib.init(Stacks.acquire(), &Device::laneEntry, &L);
+    }
+  }
+  return Block;
+}
+
+void Device::activatePendingBlocks() {
+  unsigned WarpsPerBlock =
+      static_cast<unsigned>(divideCeil(CurrentLaunch.BlockDim, Config.WarpSize));
+  while (NextPendingBlock < CurrentLaunch.GridDim) {
+    // Pick the SM with the most headroom (ties toward lower index), the
+    // greedy policy real block schedulers approximate.
+    SmState *Best = nullptr;
+    for (SmState &Sm : Sms) {
+      if (Sm.Blocks.size() >= Config.MaxBlocksPerSM)
+        continue;
+      if (Sm.ResidentWarps + WarpsPerBlock > Config.MaxWarpsPerSM)
+        continue;
+      if (Sm.ResidentThreads + CurrentLaunch.BlockDim > Config.MaxThreadsPerSM)
+        continue;
+      if (!Best || Sm.ResidentThreads < Best->ResidentThreads)
+        Best = &Sm;
+    }
+    if (!Best)
+      return;
+    unsigned SmIdx = static_cast<unsigned>(Best - Sms.data());
+    auto Block = buildBlock(NextPendingBlock, SmIdx);
+    for (auto &W : Block->Warps) {
+      W->ReadyAt = Best->Clock;
+      Best->WarpList.push_back(W.get());
+    }
+    Best->ResidentWarps += WarpsPerBlock;
+    Best->ResidentThreads += CurrentLaunch.BlockDim;
+    Best->Blocks.push_back(std::move(Block));
+    ++NextPendingBlock;
+    ++LiveBlocks;
+    recomputeCandidate(*Best);
+  }
+}
+
+void Device::rollupLane(const Lane &L) {
+  for (unsigned P = 0; P < NumPhases; ++P)
+    PhaseTotals[P] += L.PhaseCycles[P];
+  AbortedTotal += L.AbortedCycles;
+  // Cycles still tentative at kernel end (tx attribution scope left open by
+  // a discarded lane) count as aborted work.
+  for (unsigned P = 0; P < NumPhases; ++P)
+    AbortedTotal += L.TxTentative[P];
+}
+
+void Device::retireFinishedBlocks(SmState &Sm) {
+  bool Removed = false;
+  for (size_t BI = 0; BI < Sm.Blocks.size();) {
+    BlockState &B = *Sm.Blocks[BI];
+    bool Finished = true;
+    for (auto &W : B.Warps)
+      if (!W->allFinished()) {
+        Finished = false;
+        break;
+      }
+    if (!Finished) {
+      ++BI;
+      continue;
+    }
+    for (auto &W : B.Warps) {
+      for (unsigned I = 0; I < W->numLanes(); ++I)
+        rollupLane(W->lane(I));
+      Sm.WarpList.erase(
+          std::remove(Sm.WarpList.begin(), Sm.WarpList.end(), W.get()),
+          Sm.WarpList.end());
+    }
+    Sm.ResidentWarps -= static_cast<unsigned>(B.Warps.size());
+    Sm.ResidentThreads -= CurrentLaunch.BlockDim;
+    Sm.Blocks.erase(Sm.Blocks.begin() + static_cast<long>(BI));
+    --LiveBlocks;
+    Removed = true;
+  }
+  if (Removed)
+    Sm.RoundRobin = 0;
+}
+
+void Device::recomputeCandidate(SmState &Sm) {
+  Sm.CandWarp = nullptr;
+  size_t N = Sm.WarpList.size();
+  if (N == 0)
+    return;
+  uint64_t BestReady = ~uint64_t(0);
+  Warp *Best = nullptr;
+  for (size_t K = 0; K < N; ++K) {
+    size_t Idx = (Sm.RoundRobin + K) % N;
+    Warp *W = Sm.WarpList[Idx];
+    if (!W->hasRunnableLane())
+      continue;
+    if (W->ReadyAt <= Sm.Clock) {
+      Sm.CandWarp = W;
+      Sm.CandIssue = Sm.Clock;
+      return;
+    }
+    if (W->ReadyAt < BestReady) {
+      BestReady = W->ReadyAt;
+      Best = W;
+    }
+  }
+  if (Best) {
+    Sm.CandWarp = Best;
+    Sm.CandIssue = BestReady;
+  }
+}
+
+void Device::notifyWriteSlow(Addr A) {
+  auto It = Watchpoints.find(A);
+  if (It == Watchpoints.end())
+    return;
+  Word Cur = Mem.load(A);
+  std::vector<WatchEntry> &Entries = It->second;
+  for (size_t I = 0; I < Entries.size();) {
+    WatchEntry &E = Entries[I];
+    if (!memWaitSatisfied(E.Wait, Cur, E.Aux)) {
+      ++I;
+      continue;
+    }
+    Warp *W = E.W;
+    W->setState(E.LaneIdx, LaneState::Runnable);
+    // The waiter observes the store one memory round-trip after it issues.
+    W->ReadyAt = std::max(
+        W->ReadyAt, CurrentIssueCycle + Config.Timing.GlobalMemLatency);
+    recomputeCandidate(Sms[W->block().HomeSM]);
+    Entries[I] = Entries.back();
+    Entries.pop_back();
+  }
+  if (Entries.empty())
+    Watchpoints.erase(It);
+}
+
+void Device::noteBarrierArrival(BlockState &Block) {
+  ++Block.BarrierArrived;
+  if (Block.BarrierArrived < Block.LiveLanes)
+    return;
+  Block.BarrierArrived = 0;
+  for (auto &W : Block.Warps)
+    W->releaseBlockBarrier();
+}
+
+void Device::noteLaneFinished(BlockState &Block) {
+  assert(Block.LiveLanes > 0 && "lane finished twice");
+  --Block.LiveLanes;
+  // A barrier can complete when the last non-arrived lane exits (the paper's
+  // workloads never rely on this, but it avoids spurious deadlocks).
+  if (Block.LiveLanes > 0 && Block.BarrierArrived >= Block.LiveLanes) {
+    Block.BarrierArrived = 0;
+    for (auto &W : Block.Warps)
+      W->releaseBlockBarrier();
+  }
+}
+
+void Device::discardInFlight() {
+  for (SmState &Sm : Sms) {
+    for (auto &Block : Sm.Blocks) {
+      for (auto &W : Block->Warps) {
+        for (unsigned I = 0; I < W->numLanes(); ++I) {
+          Lane &L = W->lane(I);
+          rollupLane(L);
+          if (L.State != LaneState::Finished)
+            Stacks.release(L.Fib.takeStack());
+        }
+      }
+    }
+    Sm.Blocks.clear();
+    Sm.WarpList.clear();
+    Sm.ResidentWarps = 0;
+    Sm.ResidentThreads = 0;
+    Sm.CandWarp = nullptr;
+  }
+  Watchpoints.clear();
+  LiveBlocks = 0;
+}
+
+LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
+  if (Launch.GridDim == 0 || Launch.BlockDim == 0)
+    reportFatalError("empty launch configuration");
+  if (Launch.BlockDim > Config.MaxThreadsPerSM)
+    reportFatalError("block does not fit on an SM");
+
+  CurrentKernel = std::move(Kernel);
+  CurrentLaunch = Launch;
+  Sms.clear();
+  Sms.resize(Config.NumSMs);
+  NextPendingBlock = 0;
+  LiveBlocks = 0;
+  RoundsExecuted = 0;
+  Watchpoints.clear();
+  CurrentIssueCycle = 0;
+  Counters = SimCounters();
+  std::fill(std::begin(PhaseTotals), std::end(PhaseTotals), 0);
+  AbortedTotal = 0;
+
+  activatePendingBlocks();
+
+  LaunchResult Result;
+  for (;;) {
+    // Pick the SM whose cached candidate issues earliest.
+    SmState *BestSm = nullptr;
+    for (SmState &Sm : Sms) {
+      if (!Sm.CandWarp)
+        continue;
+      uint64_t Issue = std::max(Sm.Clock, Sm.CandIssue);
+      if (!BestSm || Issue < std::max(BestSm->Clock, BestSm->CandIssue))
+        BestSm = &Sm;
+    }
+    if (!BestSm) {
+      if (LiveBlocks == 0 && NextPendingBlock == CurrentLaunch.GridDim) {
+        Result.Completed = true;
+        break;
+      }
+      // Live lanes exist but none can run: SIMT divergence deadlock.
+      Result.Deadlocked = true;
+      discardInFlight();
+      break;
+    }
+
+    SmState &Sm = *BestSm;
+    Warp *W = Sm.CandWarp;
+    uint64_t Issue = std::max(Sm.Clock, W->ReadyAt);
+    CurrentIssueCycle = Issue;
+    RoundCost Cost = W->executeRound();
+    Sm.Clock = Issue + Cost.SmOccupancy;
+    W->ReadyAt = Issue + Cost.WarpLatency;
+
+    // Advance round-robin past the issued warp.
+    for (size_t K = 0; K < Sm.WarpList.size(); ++K)
+      if (Sm.WarpList[K] == W) {
+        Sm.RoundRobin = static_cast<unsigned>((K + 1) % Sm.WarpList.size());
+        break;
+      }
+
+    ++RoundsExecuted;
+    if (RoundsExecuted > Config.WatchdogRounds) {
+      Result.WatchdogTripped = true;
+      discardInFlight();
+      break;
+    }
+
+    retireFinishedBlocks(Sm);
+    if (NextPendingBlock < CurrentLaunch.GridDim)
+      activatePendingBlocks();
+    recomputeCandidate(Sm);
+  }
+
+  uint64_t Elapsed = 0;
+  for (SmState &Sm : Sms)
+    Elapsed = std::max(Elapsed, Sm.Clock);
+  Result.ElapsedCycles = Elapsed;
+  Result.TotalRounds = RoundsExecuted;
+
+  StatsSet &S = Result.Stats;
+  for (unsigned P = 0; P < NumPhases; ++P)
+    S.set(std::string("cycles.") + phaseName(static_cast<Phase>(P)),
+          PhaseTotals[P]);
+  S.set("cycles.aborted", AbortedTotal);
+  S.set("simt.rounds", Counters.Rounds);
+  S.set("simt.mem_transactions", Counters.MemTransactions);
+  S.set("simt.loads", Counters.Loads);
+  S.set("simt.stores", Counters.Stores);
+  S.set("simt.atomics", Counters.Atomics);
+  S.set("simt.fences", Counters.Fences);
+  S.set("simt.elapsed_cycles", Elapsed);
+
+  CurrentKernel = nullptr;
+  return Result;
+}

@@ -1,0 +1,240 @@
+//===- simt/Device.h - Simulated GPU device and scheduler -------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GPU: global memory, a grid/block/warp hierarchy, per-SM
+/// greedy warp scheduling with latency hiding, block residency in waves
+/// (Fermi-style), a livelock watchdog, and statistics collection.  The
+/// default configuration approximates the paper's NVIDIA C2070: 14 SMs,
+/// warp size 32, up to 8 blocks / 48 warps / 1536 threads resident per SM.
+///
+/// The simulation is single-threaded and fully deterministic: memory
+/// operations take effect in warp-round issue order, which is itself a
+/// deterministic function of the cost model.  This both makes every
+/// experiment reproducible and gives the STM a sequentially consistent
+/// memory substrate (fences cost cycles but need no functional effect).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SIMT_DEVICE_H
+#define GPUSTM_SIMT_DEVICE_H
+
+#include "simt/Memory.h"
+#include "simt/Timing.h"
+#include "simt/Warp.h"
+#include "support/Compiler.h"
+#include "support/Stats.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace gpustm {
+namespace simt {
+
+/// Device-wide configuration.
+struct DeviceConfig {
+  /// Threads per warp (<= 64; the paper's hardware uses 32).
+  unsigned WarpSize = 32;
+  /// Streaming multiprocessors (C2070: 14).
+  unsigned NumSMs = 14;
+  /// Residency limits per SM (Fermi).
+  unsigned MaxBlocksPerSM = 8;
+  unsigned MaxWarpsPerSM = 48;
+  unsigned MaxThreadsPerSM = 1536;
+  /// Global memory size in 32-bit words.
+  size_t MemoryWords = 16u << 20;
+  /// Usable fiber stack bytes per lane.
+  size_t StackBytes = 64 * 1024;
+  /// Abort the launch after this many warp rounds (livelock watchdog).
+  uint64_t WatchdogRounds = 400u << 20;
+  /// Cycle cost model.
+  TimingConfig Timing;
+};
+
+/// One kernel launch: gridDim blocks of blockDim threads.
+struct LaunchConfig {
+  unsigned GridDim = 1;
+  unsigned BlockDim = 32;
+
+  unsigned totalThreads() const { return GridDim * BlockDim; }
+};
+
+/// Outcome of a kernel launch.
+struct LaunchResult {
+  /// True when every thread ran to completion.
+  bool Completed = false;
+  /// True when the round watchdog stopped a (live)locked kernel.
+  bool WatchdogTripped = false;
+  /// True when no lane could make progress (e.g. SIMT divergence deadlock:
+  /// Algorithm 1 Scheme #1 of the paper).
+  bool Deadlocked = false;
+  /// Modeled kernel time in GPU cycles (max over SMs).
+  uint64_t ElapsedCycles = 0;
+  /// Total warp rounds executed.
+  uint64_t TotalRounds = 0;
+  /// Per-phase cycles, memory transactions, atomics, ... (see Device.cpp
+  /// for the counter names).
+  StatsSet Stats;
+};
+
+/// Kernel body type: one invocation per simulated thread.
+using KernelFn = std::function<void(ThreadCtx &)>;
+
+/// One traced lane operation (see Device::setTraceHook).
+struct TraceEvent {
+  uint64_t IssueCycle; ///< Issue time of the warp round.
+  unsigned BlockIdx;
+  unsigned WarpIdInBlock;
+  unsigned LaneIdx;
+  OpKind Kind;
+  Addr Address;   ///< InvalidAddr for non-memory ops.
+  Phase LanePhase;
+};
+
+/// Callback invoked once per traced lane operation.
+using TraceHookFn = std::function<void(const TraceEvent &)>;
+
+/// Per-block bookkeeping while a block is resident.
+struct BlockState {
+  unsigned BlockIdx = 0;
+  unsigned HomeSM = 0;
+  std::vector<std::unique_ptr<Warp>> Warps;
+  /// Lanes that have not finished the kernel.
+  unsigned LiveLanes = 0;
+  /// Lanes currently parked at the block barrier.
+  unsigned BarrierArrived = 0;
+};
+
+/// Hot-path event counters (plain fields; folded into the LaunchResult's
+/// StatsSet when the launch ends).
+struct SimCounters {
+  uint64_t Rounds = 0;
+  uint64_t MemTransactions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Atomics = 0;
+  uint64_t Fences = 0;
+};
+
+/// The simulated GPU (see file comment).
+class Device {
+public:
+  explicit Device(const DeviceConfig &Config);
+  ~Device();
+
+  Device(const Device &) = delete;
+  Device &operator=(const Device &) = delete;
+
+  /// The device's global memory.
+  Memory &memory() { return Mem; }
+  const Memory &memory() const { return Mem; }
+
+  const DeviceConfig &config() const { return Config; }
+
+  /// Launch \p Kernel over \p Launch and simulate to completion (or until
+  /// the watchdog trips / a deadlock is detected).
+  LaunchResult launch(const LaunchConfig &Launch, KernelFn Kernel);
+
+  /// Install (or clear, with nullptr) a per-operation trace hook: called
+  /// for every lane operation of every subsequent round, in issue order.
+  /// Tracing is for debugging and tests; it has no effect on timing.
+  void setTraceHook(TraceHookFn Hook) { TraceHook = std::move(Hook); }
+
+  /// Current simulated time (issue cycle of the executing warp round).
+  /// Host-side controllers (e.g. the STM's adaptive transaction scheduler)
+  /// use this to measure throughput in modeled cycles.
+  uint64_t now() const { return CurrentIssueCycle; }
+
+  /// Host-side helpers (the CPU side of the CUDA API in Figure 1).
+  Addr hostAlloc(size_t NumWords) { return Mem.allocate(NumWords); }
+  void hostFill(Addr Base, size_t NumWords, Word Value);
+  void hostWrite(Addr Base, const Word *Data, size_t NumWords);
+  void hostRead(Addr Base, Word *Data, size_t NumWords) const;
+
+private:
+  friend class Warp;
+  friend class ThreadCtx;
+
+  /// A parked memWait: lane LaneIdx of W resumes when the watched word
+  /// equals Aux (BitClear=false) or has all Aux bits clear (BitClear=true).
+  struct WatchEntry {
+    Warp *W;
+    unsigned LaneIdx;
+    Word Aux;
+    MemWaitKind Wait;
+  };
+
+  /// Wake watchers of \p A whose condition now holds.  Fast no-op when no
+  /// memWait is outstanding.
+  void notifyWrite(Addr A) {
+    if (GPUSTM_LIKELY(Watchpoints.empty()))
+      return;
+    notifyWriteSlow(A);
+  }
+  void notifyWriteSlow(Addr A);
+  /// Register a watchpoint for a lane parked at a memWait.
+  void addWatch(Addr A, const WatchEntry &E) { Watchpoints[A].push_back(E); }
+
+  /// Per-SM scheduler state.
+  struct SmState {
+    uint64_t Clock = 0;
+    std::vector<std::unique_ptr<BlockState>> Blocks;
+    /// Flattened list of resident warps for round-robin picking.
+    std::vector<Warp *> WarpList;
+    unsigned ResidentWarps = 0;
+    unsigned ResidentThreads = 0;
+    unsigned RoundRobin = 0;
+    /// Cached next-issue candidate (recomputed after every local event).
+    Warp *CandWarp = nullptr;
+    uint64_t CandIssue = 0;
+  };
+
+  /// Fiber entry point: runs the current kernel for one lane.
+  static void laneEntry(void *LanePtr);
+
+  /// Activate pending blocks on any SM with residency headroom.
+  void activatePendingBlocks();
+  /// Construct BlockState + warps + lane fibers for block \p BlockIdx.
+  std::unique_ptr<BlockState> buildBlock(unsigned BlockIdx, unsigned HomeSM);
+  /// Retire fully finished blocks on \p Sm, recycling their stacks.
+  void retireFinishedBlocks(SmState &Sm);
+  /// Recompute the cached issue candidate for \p Sm.
+  void recomputeCandidate(SmState &Sm);
+  /// Fold a lane's attribution counters into the launch totals.
+  void rollupLane(const Lane &L);
+  /// Called by Warp when a lane arrives at the block barrier / finishes.
+  void noteBarrierArrival(BlockState &Block);
+  void noteLaneFinished(BlockState &Block);
+  /// Discard all in-flight fibers after a watchdog trip or deadlock.
+  void discardInFlight();
+
+  DeviceConfig Config;
+  Memory Mem;
+  StackPool Stacks;
+
+  // Launch-scoped state.
+  KernelFn CurrentKernel;
+  TraceHookFn TraceHook;
+  LaunchConfig CurrentLaunch;
+  std::vector<SmState> Sms;
+  std::unordered_map<Addr, std::vector<WatchEntry>> Watchpoints;
+  /// Issue cycle of the warp round currently executing (wake timing).
+  uint64_t CurrentIssueCycle = 0;
+  unsigned NextPendingBlock = 0;
+  unsigned LiveBlocks = 0;
+  uint64_t RoundsExecuted = 0;
+  SimCounters Counters;
+  uint64_t PhaseTotals[NumPhases] = {};
+  uint64_t AbortedTotal = 0;
+  StatsSet LaunchStats;
+};
+
+} // namespace simt
+} // namespace gpustm
+
+#endif // GPUSTM_SIMT_DEVICE_H

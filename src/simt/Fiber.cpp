@@ -1,0 +1,213 @@
+//===- simt/Fiber.cpp - Cooperative lane fibers ---------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/Fiber.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+using namespace gpustm;
+using namespace gpustm::simt;
+
+//===----------------------------------------------------------------------===//
+// Context switch
+//===----------------------------------------------------------------------===//
+
+#if defined(__x86_64__)
+
+// System V AMD64 user-mode context switch.  Saves the callee-saved integer
+// registers and the return address on the current stack, publishes the stack
+// pointer through *SaveSP, then installs RestoreSP and returns into the
+// target context.  The FP control words are not modified by any simulated
+// code, so they are intentionally not saved.
+extern "C" void gpustm_fiber_switch(void **SaveSP, void *RestoreSP);
+extern "C" void gpustm_fiber_boot();
+extern "C" void gpustm_fiber_trampoline(void *Self);
+
+asm(R"asm(
+.text
+.globl gpustm_fiber_switch
+.type gpustm_fiber_switch, @function
+gpustm_fiber_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+.size gpustm_fiber_switch, .-gpustm_fiber_switch
+
+.globl gpustm_fiber_boot
+.type gpustm_fiber_boot, @function
+gpustm_fiber_boot:
+  movq %r12, %rdi
+  andq $-16, %rsp
+  callq gpustm_fiber_trampoline
+  ud2
+.size gpustm_fiber_boot, .-gpustm_fiber_boot
+)asm");
+
+#endif // __x86_64__
+
+namespace {
+thread_local Fiber *CurrentFiberTLS = nullptr;
+} // namespace
+
+extern "C" void gpustm_fiber_trampoline(void *Self) {
+  // Runs the fiber body; never returns to the caller.
+  Fiber::trampoline(static_cast<Fiber *>(Self));
+}
+
+void Fiber::trampoline(Fiber *Self) {
+  Self->Entry(Self->Arg);
+  Self->Finished = true;
+  yieldToHost();
+  gpustm_unreachable("resumed a finished fiber");
+}
+
+void Fiber::init(FiberStack S, EntryFn E, void *A) {
+  assert(S.valid() && "fiber needs a stack");
+  Stack = S;
+  Entry = E;
+  Arg = A;
+  Started = false;
+  Finished = false;
+
+#if defined(__x86_64__)
+  // Build the initial switch frame: six callee-saved register slots followed
+  // by the boot return address.  The boot shim expects the Fiber pointer in
+  // r12 (the fourth popped slot).
+  uintptr_t Top = reinterpret_cast<uintptr_t>(S.top()) & ~uintptr_t(15);
+  uint64_t *Frame = reinterpret_cast<uint64_t *>(Top) - 7;
+  Frame[0] = 0;                                    // r15
+  Frame[1] = 0;                                    // r14
+  Frame[2] = 0;                                    // r13
+  Frame[3] = reinterpret_cast<uint64_t>(this);     // r12
+  Frame[4] = 0;                                    // rbx
+  Frame[5] = 0;                                    // rbp
+  Frame[6] = reinterpret_cast<uint64_t>(&gpustm_fiber_boot);
+  FiberSP = Frame;
+#else
+  FiberSP = nullptr; // ucontext path initializes lazily in resume().
+#endif
+}
+
+#if defined(__x86_64__)
+
+void Fiber::resume() {
+  assert(!Finished && "resuming a finished fiber");
+  assert(CurrentFiberTLS == nullptr && "nested fiber resume");
+  Started = true;
+  CurrentFiberTLS = this;
+  gpustm_fiber_switch(&HostSP, FiberSP);
+  CurrentFiberTLS = nullptr;
+}
+
+void Fiber::yieldToHost() {
+  Fiber *Self = CurrentFiberTLS;
+  assert(Self && "yieldToHost outside a fiber");
+  gpustm_fiber_switch(&Self->FiberSP, Self->HostSP);
+}
+
+#else // ucontext fallback for non-x86-64 hosts.
+
+namespace {
+struct UctxPair {
+  ucontext_t FiberCtx;
+  ucontext_t HostCtx;
+};
+thread_local Fiber *BootFiber = nullptr;
+
+void uctxEntry() {
+  Fiber *F = BootFiber;
+  // Reuse the same trampoline path as the assembly backend.
+  gpustm_fiber_trampoline(F);
+}
+} // namespace
+
+void Fiber::resume() {
+  assert(!Finished && "resuming a finished fiber");
+  assert(CurrentFiberTLS == nullptr && "nested fiber resume");
+  CurrentFiberTLS = this;
+  if (!Started) {
+    Started = true;
+    auto *Pair = new UctxPair();
+    FiberSP = Pair;
+    getcontext(&Pair->FiberCtx);
+    Pair->FiberCtx.uc_stack.ss_sp = Stack.base();
+    Pair->FiberCtx.uc_stack.ss_size = Stack.totalBytes();
+    Pair->FiberCtx.uc_link = nullptr;
+    BootFiber = this;
+    makecontext(&Pair->FiberCtx, reinterpret_cast<void (*)()>(uctxEntry), 0);
+  }
+  auto *Pair = static_cast<UctxPair *>(FiberSP);
+  swapcontext(&Pair->HostCtx, &Pair->FiberCtx);
+  CurrentFiberTLS = nullptr;
+}
+
+void Fiber::yieldToHost() {
+  Fiber *Self = CurrentFiberTLS;
+  assert(Self && "yieldToHost outside a fiber");
+  auto *Pair = static_cast<UctxPair *>(Self->FiberSP);
+  swapcontext(&Pair->FiberCtx, &Pair->HostCtx);
+}
+
+#endif
+
+Fiber *Fiber::current() { return CurrentFiberTLS; }
+
+//===----------------------------------------------------------------------===//
+// StackPool
+//===----------------------------------------------------------------------===//
+
+StackPool::StackPool(size_t StackBytes) : StackBytes(StackBytes) {}
+
+StackPool::~StackPool() {
+  for (FiberStack &S : FreeList)
+    ::munmap(S.base(), S.totalBytes());
+}
+
+FiberStack StackPool::acquire() {
+  if (!FreeList.empty()) {
+    FiberStack S = FreeList.back();
+    FreeList.pop_back();
+    return S;
+  }
+  size_t Page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  size_t Usable = (StackBytes + Page - 1) / Page * Page;
+  size_t Total = Usable + Page; // one guard page below the stack
+  void *Base = ::mmap(nullptr, Total, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Base == MAP_FAILED)
+    reportFatalError("fiber stack mmap failed");
+  if (::mprotect(static_cast<char *>(Base) + Page, Usable,
+                 PROT_READ | PROT_WRITE) != 0)
+    reportFatalError("fiber stack mprotect failed");
+  ++NumAllocated;
+  return FiberStack(Base, Total, Usable);
+}
+
+void StackPool::release(FiberStack Stack) {
+  if (!Stack.valid())
+    return;
+  FreeList.push_back(Stack);
+}

@@ -1,0 +1,125 @@
+//===- simt/Memory.h - Simulated GPU global memory --------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GPU's global (off-chip) memory: a flat, word-addressed
+/// arena.  GPU-STM (the paper's system) is a word-based STM, so all program
+/// data and all STM metadata (the global lock table, the global clock, the
+/// coalesced read/write logs, the per-transaction lock-logs) live here as
+/// 32-bit words.  Addresses are word indices; the timing model groups
+/// accesses into 128-byte segments (32 words) to model coalescing.
+///
+/// This class is purely functional; cycle costs are charged by the warp
+/// round engine (Warp.cpp) which observes every access through ThreadCtx.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SIMT_MEMORY_H
+#define GPUSTM_SIMT_MEMORY_H
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gpustm {
+namespace simt {
+
+/// A global-memory address: an index of a 32-bit word in the arena.
+using Addr = uint32_t;
+/// The unit of storage and of STM conflict detection.
+using Word = uint32_t;
+
+/// Sentinel for "no address".
+inline constexpr Addr InvalidAddr = ~Addr(0);
+
+/// Flat word-addressed global memory with a bump allocator.
+class Memory {
+public:
+  explicit Memory(size_t NumWords) : Words(NumWords, 0) {}
+
+  size_t size() const { return Words.size(); }
+
+  Word load(Addr A) const {
+    assert(A < Words.size() && "global memory load out of bounds");
+    return Words[A];
+  }
+
+  void store(Addr A, Word V) {
+    assert(A < Words.size() && "global memory store out of bounds");
+    Words[A] = V;
+  }
+
+  /// *A |= V; returns the old value.
+  Word atomicOr(Addr A, Word V) {
+    Word Old = load(A);
+    store(A, Old | V);
+    return Old;
+  }
+
+  /// *A += V; returns the old value.
+  Word atomicAdd(Addr A, Word V) {
+    Word Old = load(A);
+    store(A, Old + V);
+    return Old;
+  }
+
+  /// Compare-and-swap; returns the old value (success iff old == Expected).
+  Word atomicCAS(Addr A, Word Expected, Word Desired) {
+    Word Old = load(A);
+    if (Old == Expected)
+      store(A, Desired);
+    return Old;
+  }
+
+  /// *A = V; returns the old value.
+  Word atomicExch(Addr A, Word V) {
+    Word Old = load(A);
+    store(A, V);
+    return Old;
+  }
+
+  /// min-update; returns the old value.
+  Word atomicMin(Addr A, Word V) {
+    Word Old = load(A);
+    if (V < Old)
+      store(A, V);
+    return Old;
+  }
+
+  /// Bump-allocate \p NumWords words (like cudaMalloc).  Never freed
+  /// individually; reset() reclaims everything.
+  Addr allocate(size_t NumWords) {
+    if (AllocCursor + NumWords > Words.size())
+      reportFatalError("simulated global memory exhausted");
+    Addr Base = static_cast<Addr>(AllocCursor);
+    AllocCursor += NumWords;
+    return Base;
+  }
+
+  /// Number of words currently allocated.
+  size_t allocated() const { return AllocCursor; }
+
+  /// Zero all contents and reset the allocator.
+  void reset() {
+    std::fill(Words.begin(), Words.end(), 0);
+    AllocCursor = 0;
+  }
+
+  /// Direct host-side access for initialization and result checking.
+  Word *data() { return Words.data(); }
+  const Word *data() const { return Words.data(); }
+
+private:
+  std::vector<Word> Words;
+  size_t AllocCursor = 0;
+};
+
+} // namespace simt
+} // namespace gpustm
+
+#endif // GPUSTM_SIMT_MEMORY_H

@@ -1,0 +1,233 @@
+//===- simt/ThreadCtx.cpp - Device-side thread API ------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/ThreadCtx.h"
+#include "simt/Device.h"
+#include "simt/Fiber.h"
+#include "simt/Warp.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpustm;
+using namespace gpustm::simt;
+
+Word ThreadCtx::yieldOp(const Op &O) {
+  assert(Self && "ThreadCtx not bound to a lane");
+  Self->PendingOp = O;
+  Fiber::yieldToHost();
+  return Self->OpResult;
+}
+
+Word ThreadCtx::load(Addr A) {
+  Word V = Dev->memory().load(A);
+  ++Dev->Counters.Loads;
+  Op O;
+  O.Kind = OpKind::Load;
+  O.Address = A;
+  yieldOp(O);
+  return V;
+}
+
+void ThreadCtx::store(Addr A, Word V) {
+  Dev->memory().store(A, V);
+  Dev->notifyWrite(A);
+  ++Dev->Counters.Stores;
+  Op O;
+  O.Kind = OpKind::Store;
+  O.Address = A;
+  yieldOp(O);
+}
+
+Word ThreadCtx::atomicCAS(Addr A, Word Expected, Word Desired) {
+  Word Old = Dev->memory().atomicCAS(A, Expected, Desired);
+  Dev->notifyWrite(A);
+  ++Dev->Counters.Atomics;
+  Op O;
+  O.Kind = OpKind::Atomic;
+  O.Address = A;
+  yieldOp(O);
+  return Old;
+}
+
+Word ThreadCtx::atomicAdd(Addr A, Word V) {
+  Word Old = Dev->memory().atomicAdd(A, V);
+  Dev->notifyWrite(A);
+  ++Dev->Counters.Atomics;
+  Op O;
+  O.Kind = OpKind::Atomic;
+  O.Address = A;
+  yieldOp(O);
+  return Old;
+}
+
+Word ThreadCtx::atomicOr(Addr A, Word V) {
+  Word Old = Dev->memory().atomicOr(A, V);
+  Dev->notifyWrite(A);
+  ++Dev->Counters.Atomics;
+  Op O;
+  O.Kind = OpKind::Atomic;
+  O.Address = A;
+  yieldOp(O);
+  return Old;
+}
+
+Word ThreadCtx::atomicExch(Addr A, Word V) {
+  Word Old = Dev->memory().atomicExch(A, V);
+  Dev->notifyWrite(A);
+  ++Dev->Counters.Atomics;
+  Op O;
+  O.Kind = OpKind::Atomic;
+  O.Address = A;
+  yieldOp(O);
+  return Old;
+}
+
+Word ThreadCtx::atomicMin(Addr A, Word V) {
+  Word Old = Dev->memory().atomicMin(A, V);
+  Dev->notifyWrite(A);
+  ++Dev->Counters.Atomics;
+  Op O;
+  O.Kind = OpKind::Atomic;
+  O.Address = A;
+  yieldOp(O);
+  return Old;
+}
+
+void ThreadCtx::threadfence() {
+  ++Dev->Counters.Fences;
+  Op O;
+  O.Kind = OpKind::Fence;
+  yieldOp(O);
+}
+
+void ThreadCtx::compute(uint32_t Cycles) {
+  Op O;
+  O.Kind = OpKind::Compute;
+  O.Cycles = Cycles;
+  yieldOp(O);
+}
+
+void ThreadCtx::memWaitEquals(Addr A, Word V) {
+  Op O;
+  O.Kind = OpKind::MemWait;
+  O.Address = A;
+  O.Cycles = V;
+  O.Wait = MemWaitKind::Equals;
+  yieldOp(O);
+}
+
+void ThreadCtx::memWaitBitClear(Addr A, Word Mask) {
+  Op O;
+  O.Kind = OpKind::MemWait;
+  O.Address = A;
+  O.Cycles = Mask;
+  O.Wait = MemWaitKind::BitClear;
+  yieldOp(O);
+}
+
+void ThreadCtx::memWaitNotEquals(Addr A, Word V) {
+  Op O;
+  O.Kind = OpKind::MemWait;
+  O.Address = A;
+  O.Cycles = V;
+  O.Wait = MemWaitKind::NotEquals;
+  yieldOp(O);
+}
+
+void ThreadCtx::memWaitGreaterEq(Addr A, Word V) {
+  Op O;
+  O.Kind = OpKind::MemWait;
+  O.Address = A;
+  O.Cycles = V;
+  O.Wait = MemWaitKind::GreaterEq;
+  yieldOp(O);
+}
+
+void ThreadCtx::syncThreads() {
+  Op O;
+  O.Kind = OpKind::BlockBarrier;
+  yieldOp(O);
+}
+
+void ThreadCtx::syncWarp() {
+  Op O;
+  O.Kind = OpKind::WarpSync;
+  yieldOp(O);
+}
+
+uint64_t ThreadCtx::ballot(bool Predicate) {
+  Op O;
+  O.Kind = OpKind::Ballot;
+  O.Flag = Predicate;
+  yieldOp(O);
+  return static_cast<uint64_t>(Self->OpResult) |
+         (static_cast<uint64_t>(Self->OpResultHi) << 32);
+}
+
+void ThreadCtx::simtIf(bool Cond, function_ref<void()> Then,
+                       function_ref<void()> Else) {
+  Op Begin;
+  Begin.Kind = OpKind::BranchBegin;
+  Begin.Flag = Cond;
+  yieldOp(Begin);
+  if (Cond && Then)
+    Then();
+  Op Mid;
+  Mid.Kind = OpKind::BranchElse;
+  yieldOp(Mid);
+  if (!Cond && Else)
+    Else();
+  Op End;
+  End.Kind = OpKind::BranchEnd;
+  yieldOp(End);
+}
+
+void ThreadCtx::simtWhile(function_ref<bool()> Cond,
+                          function_ref<void()> Body) {
+  Op Begin;
+  Begin.Kind = OpKind::LoopBegin;
+  yieldOp(Begin);
+  for (;;) {
+    bool C = Cond();
+    Op Test;
+    Test.Kind = OpKind::LoopTest;
+    Test.Flag = C;
+    yieldOp(Test);
+    if (!C)
+      break;
+    Body();
+  }
+  Op End;
+  End.Kind = OpKind::LoopEnd;
+  yieldOp(End);
+}
+
+Phase ThreadCtx::setPhase(Phase P) {
+  Phase Old = Self->CurPhase;
+  Self->CurPhase = P;
+  return Old;
+}
+
+Phase ThreadCtx::currentPhase() const { return Self->CurPhase; }
+
+void ThreadCtx::txMarkBegin() {
+  assert(!Self->InTxScope && "nested transaction attribution scope");
+  Self->InTxScope = true;
+  std::fill(std::begin(Self->TxTentative), std::end(Self->TxTentative), 0);
+}
+
+void ThreadCtx::txMarkEnd(bool Committed) {
+  assert(Self->InTxScope && "txMarkEnd without txMarkBegin");
+  Self->InTxScope = false;
+  for (unsigned P = 0; P < NumPhases; ++P) {
+    if (Committed)
+      Self->PhaseCycles[P] += Self->TxTentative[P];
+    else
+      Self->AbortedCycles += Self->TxTentative[P];
+    Self->TxTentative[P] = 0;
+  }
+}

@@ -1,0 +1,178 @@
+//===- simt/ThreadCtx.h - Device-side thread API ----------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ThreadCtx is the device-side API handed to every simulated GPU thread
+/// (one per lane).  It plays the role CUDA device intrinsics play in the
+/// paper's prototype: global loads/stores, atomics, threadfence, barriers,
+/// warp votes, and structured SIMT control flow (simtIf / simtWhile, which
+/// model the hardware reconvergence stack).
+///
+/// Every call that touches simulated memory or synchronizes suspends the
+/// lane's fiber for one warp "round", giving lockstep round semantics
+/// within a warp: each scheduling round, every active lane executes exactly
+/// one device operation.  Plain C++ computation between calls is free
+/// (register/ALU work can be modeled explicitly with compute()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SIMT_THREADCTX_H
+#define GPUSTM_SIMT_THREADCTX_H
+
+#include "simt/Memory.h"
+#include "simt/Op.h"
+#include "support/FunctionRef.h"
+
+#include <cstdint>
+
+namespace gpustm {
+namespace simt {
+
+class Device;
+class Warp;
+struct Lane;
+
+/// Per-thread device execution context (see file comment).
+class ThreadCtx {
+public:
+  ThreadCtx() = default;
+
+  //===--------------------------------------------------------------------===//
+  // Identity
+  //===--------------------------------------------------------------------===//
+
+  /// Lane index within the warp [0, warpSize).
+  unsigned laneId() const { return LaneIdx; }
+  /// Thread index within the block.
+  unsigned threadIdxInBlock() const { return ThreadIdx; }
+  /// Block index within the grid.
+  unsigned blockIdx() const { return BlockIdx; }
+  /// Threads per block for this launch.
+  unsigned blockDim() const { return BlockDimV; }
+  /// Blocks in the grid for this launch.
+  unsigned gridDim() const { return GridDimV; }
+  /// Warp size for this device.
+  unsigned warpSize() const { return WarpSizeV; }
+  /// Globally unique thread id: blockIdx * blockDim + threadIdx.
+  unsigned globalThreadId() const { return BlockIdx * BlockDimV + ThreadIdx; }
+  /// Warp index within the block.
+  unsigned warpIdInBlock() const { return WarpIdxInBlock; }
+  /// Globally unique warp id across the launch.
+  unsigned warpGlobalId() const {
+    unsigned WarpsPerBlock = (BlockDimV + WarpSizeV - 1) / WarpSizeV;
+    return BlockIdx * WarpsPerBlock + WarpIdxInBlock;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Global memory
+  //===--------------------------------------------------------------------===//
+
+  /// Global load of one word.
+  Word load(Addr A);
+  /// Global store of one word.
+  void store(Addr A, Word V);
+  /// atomicCAS: if *A == Expected then *A = Desired; returns old *A.
+  Word atomicCAS(Addr A, Word Expected, Word Desired);
+  /// atomicAdd: *A += V; returns old *A.
+  Word atomicAdd(Addr A, Word V);
+  /// atomicOr: *A |= V; returns old *A.
+  Word atomicOr(Addr A, Word V);
+  /// atomicExch: *A = V; returns old *A.
+  Word atomicExch(Addr A, Word V);
+  /// atomicMin: *A = min(*A, V); returns old *A.
+  Word atomicMin(Addr A, Word V);
+  /// CUDA __threadfence(): orders this lane's prior accesses.  The simulator
+  /// is sequentially consistent, so this only costs cycles, but the STM
+  /// issues it exactly where the paper's Algorithm 3 does.
+  void threadfence();
+  /// Explicit ALU work of \p Cycles cycles (models native computation).
+  void compute(uint32_t Cycles = 1);
+
+  /// Spin-wait primitives.  Semantically these behave like a polling loop
+  /// (`while (*A != V) ;`), but the simulator parks the lane and wakes it on
+  /// a qualifying store instead of burning one round per poll, so
+  /// high-contention locks (the CGL baseline, NOrec's sequence lock) stay
+  /// simulable at large thread counts.  Wake-up is advisory -- another
+  /// thread may invalidate the condition before this lane runs again --
+  /// so callers must re-check in a load loop.
+  void memWaitEquals(Addr A, Word V);
+  /// Park until (*A & Mask) == 0.
+  void memWaitBitClear(Addr A, Word Mask);
+  /// Park until *A != V.
+  void memWaitNotEquals(Addr A, Word V);
+  /// Park until *A >= V (unsigned compare; for monotonic counters).
+  void memWaitGreaterEq(Addr A, Word V);
+
+  //===--------------------------------------------------------------------===//
+  // Synchronization and SIMT control flow
+  //===--------------------------------------------------------------------===//
+
+  /// CUDA __syncthreads(): block-wide barrier.
+  void syncThreads();
+  /// Warp-wide convergence point (all currently active lanes arrive, then
+  /// all proceed).  Useful for warp-serialized sections (Scheme #2).
+  void syncWarp();
+  /// Warp vote: returns a bitmask with bit i set iff active lane i passed a
+  /// true predicate.
+  uint64_t ballot(bool Predicate);
+
+  /// Structured SIMT branch: models the hardware reconvergence stack.  All
+  /// active lanes must reach the same simtIf together (lockstep).  Lanes
+  /// with a true condition run \p Then while the rest are masked off; then
+  /// the false lanes run \p Else; all reconverge afterwards.
+  void simtIf(bool Cond, function_ref<void()> Then,
+              function_ref<void()> Else = nullptr);
+
+  /// Structured SIMT loop.  Each iteration, \p Cond is evaluated by every
+  /// lane still in the loop; lanes whose condition turns false are masked
+  /// off at the loop exit and wait there until *all* lanes have left the
+  /// loop (hardware reconvergence).  This faithfully reproduces the SIMT
+  /// spin-lock deadlock of the paper's Algorithm 1 Scheme #1: a lane that
+  /// exits (lock holder) is masked off and cannot release the lock while
+  /// another lane spins forever.  \p Cond must not perform device
+  /// operations; do memory work in \p Body.
+  void simtWhile(function_ref<bool()> Cond, function_ref<void()> Body);
+
+  //===--------------------------------------------------------------------===//
+  // Cycle attribution (paper Figure 5)
+  //===--------------------------------------------------------------------===//
+
+  /// Tag subsequent cycles with phase \p P; returns the previous phase.
+  Phase setPhase(Phase P);
+  /// Current attribution phase.
+  Phase currentPhase() const;
+  /// Begin a transaction attribution scope: cycles are held in a tentative
+  /// bucket until txMarkEnd decides commit (real phases) or abort ("wasted"
+  /// bucket).
+  void txMarkBegin();
+  /// End the transaction attribution scope.
+  void txMarkEnd(bool Committed);
+
+private:
+  friend class Warp;
+  friend class Device;
+
+  /// Record \p O as this lane's operation for the current round and suspend
+  /// until the warp scheduler steps the lane again.  Returns the op result
+  /// (used by ballot).
+  Word yieldOp(const Op &O);
+
+  Device *Dev = nullptr;
+  Warp *ParentWarp = nullptr;
+  Lane *Self = nullptr;
+  unsigned LaneIdx = 0;
+  unsigned WarpIdxInBlock = 0;
+  unsigned ThreadIdx = 0;
+  unsigned BlockIdx = 0;
+  unsigned BlockDimV = 0;
+  unsigned GridDimV = 0;
+  unsigned WarpSizeV = 0;
+};
+
+} // namespace simt
+} // namespace gpustm
+
+#endif // GPUSTM_SIMT_THREADCTX_H

@@ -1,0 +1,62 @@
+//===- simt/Timing.h - GPU cycle cost model ---------------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fermi-like cycle cost model.  The paper evaluates on an NVIDIA C2070
+/// (14 SMs); since no GPU is available here, kernel "time" is modeled
+/// cycles: each SM issues warp rounds back-to-back, a round with global
+/// memory traffic blocks its warp for a latency period (hidden by issuing
+/// other resident warps), coalescing reduces a warp round's memory traffic
+/// to one transaction per touched 128-byte segment, and atomics to the same
+/// address serialize.  Speedups in the reproduction are ratios of these
+/// modeled cycle counts, mirroring the paper's ratios of kernel times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SIMT_TIMING_H
+#define GPUSTM_SIMT_TIMING_H
+
+#include <cstdint>
+
+namespace gpustm {
+namespace simt {
+
+/// Cost-model parameters.  Defaults approximate a Fermi-class GPU.
+struct TimingConfig {
+  /// SM cycles to issue one warp round (any kind).
+  uint32_t IssueCycles = 1;
+  /// Round-trip latency of a global memory access (load/store/atomic).
+  uint32_t GlobalMemLatency = 400;
+  /// Words per coalescing segment (128 bytes / 4-byte words).
+  uint32_t SegmentWords = 32;
+  /// Extra SM occupancy per memory transaction beyond the first, modeling
+  /// the LD/ST pipeline replay/throughput limit (a fully scattered 32-lane
+  /// access occupies the pipeline for ~128 cycles, still leaving room to
+  /// hide the ~400-cycle latency with other warps).
+  uint32_t PerSegmentCycles = 4;
+  /// Extra latency per additional atomic contending the same address within
+  /// one warp round.
+  uint32_t AtomicSerializeCycles = 32;
+  /// Latency of a threadfence.
+  uint32_t FenceCycles = 40;
+  /// Cost of a barrier/convergence round.
+  uint32_t SyncCycles = 4;
+};
+
+/// The outcome of costing one warp round.
+struct RoundCost {
+  /// Cycles the SM issue stage is occupied (cannot issue other warps).
+  uint32_t SmOccupancy = 0;
+  /// Cycles until this warp may issue its next round.
+  uint32_t WarpLatency = 0;
+  /// Number of global-memory transactions generated (for stats).
+  uint32_t MemTransactions = 0;
+};
+
+} // namespace simt
+} // namespace gpustm
+
+#endif // GPUSTM_SIMT_TIMING_H

@@ -1,0 +1,496 @@
+//===- simt/Warp.cpp - Lockstep warp round engine -------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/Warp.h"
+#include "simt/Device.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpustm;
+using namespace gpustm::simt;
+
+Warp::Warp(Device &Dev, BlockState &Block, unsigned WarpIdInBlock,
+           unsigned NumLanes)
+    : Dev(Dev), Block(&Block), WarpIdInBlock(WarpIdInBlock) {
+  assert(NumLanes >= 1 && NumLanes <= 64 && "warp size must be in [1,64]");
+  Lanes.resize(NumLanes);
+  SteppedThisRound.reserve(NumLanes);
+  NumRunnable = NumLanes;
+  (void)this->WarpIdInBlock;
+}
+
+void Warp::setState(unsigned I, LaneState S) {
+  LaneState Old = Lanes[I].State;
+  if (Old == S)
+    return;
+  assert(Old != LaneState::Finished && "finished lanes never change state");
+  if (Old == LaneState::Runnable)
+    --NumRunnable;
+  if (S == LaneState::Runnable)
+    ++NumRunnable;
+  else if (S == LaneState::Finished)
+    ++NumFinished;
+  else
+    ConvergencePending = true;
+  Lanes[I].State = S;
+}
+
+uint64_t Warp::liveMask(uint64_t Mask) const {
+  uint64_t Live = 0;
+  for (unsigned I = 0; I < Lanes.size(); ++I)
+    if (Lanes[I].State != LaneState::Finished)
+      Live |= laneBit(I);
+  return Mask & Live;
+}
+
+bool Warp::allInState(uint64_t Mask, LaneState S) const {
+  for (unsigned I = 0; I < Lanes.size(); ++I)
+    if ((Mask & laneBit(I)) && Lanes[I].State != S)
+      return false;
+  return true;
+}
+
+uint64_t Warp::contextMask() const {
+  uint64_t All = liveMask(~uint64_t(0));
+  if (Stack.empty())
+    return All;
+  const SimtFrame &F = Stack.back();
+  switch (F.Kind) {
+  case SimtFrame::If:
+    switch (F.IfPhase) {
+    case SimtFrame::PhaseThen:
+      return liveMask(F.ThenMask);
+    case SimtFrame::PhaseElse:
+      return liveMask(F.ElseMask);
+    case SimtFrame::PhaseJoin:
+      return liveMask(F.Members);
+    }
+    break;
+  case SimtFrame::Loop:
+    if (F.LoopActive != 0)
+      return liveMask(F.LoopActive);
+    return liveMask(F.Members);
+  }
+  gpustm_unreachable("bad frame kind");
+}
+
+uint64_t Warp::activeMask() const { return contextMask(); }
+
+bool Warp::waitingAtBlockBarrier() const {
+  bool AnyWaiting = false;
+  for (const Lane &L : Lanes) {
+    if (L.State == LaneState::Runnable)
+      return false;
+    if (L.State == LaneState::AtBlockBarrier)
+      AnyWaiting = true;
+  }
+  return AnyWaiting;
+}
+
+void Warp::releaseLanes(uint64_t Mask) {
+  for (unsigned I = 0; I < Lanes.size(); ++I)
+    if ((Mask & laneBit(I)) && Lanes[I].State != LaneState::Finished)
+      setState(I, LaneState::Runnable);
+}
+
+void Warp::releaseBlockBarrier() {
+  for (unsigned I = 0; I < Lanes.size(); ++I)
+    if (Lanes[I].State == LaneState::AtBlockBarrier)
+      setState(I, LaneState::Runnable);
+}
+
+void Warp::stepLane(unsigned I) {
+  Lane &L = Lanes[I];
+  assert(L.State == LaneState::Runnable && "stepping a non-runnable lane");
+  L.PendingOp = Op();
+  L.Fib.resume();
+  if (L.Fib.isFinished()) {
+    setState(I, LaneState::Finished);
+    ConvergencePending = true; // A finish can complete a convergence.
+    Dev.Stacks.release(L.Fib.takeStack());
+    Dev.noteLaneFinished(*Block);
+    return;
+  }
+
+  // Classify the yielded operation into a scheduling state.
+  switch (L.PendingOp.Kind) {
+  case OpKind::Load:
+  case OpKind::Store:
+  case OpKind::Atomic:
+  case OpKind::Fence:
+  case OpKind::Compute:
+    break; // Data ops: the lane stays runnable.
+  case OpKind::WarpSync:
+    setState(I, LaneState::AtWarpSync);
+    break;
+  case OpKind::Ballot:
+    setState(I, LaneState::AtBallot);
+    break;
+  case OpKind::BranchBegin:
+    setState(I, LaneState::AtBranchBegin);
+    break;
+  case OpKind::BranchElse:
+    // An else-side lane passing through the else boundary while the frame
+    // executes the else phase keeps running; a then-side lane parks.
+    if (!Stack.empty() && Stack.back().Kind == SimtFrame::If &&
+        Stack.back().IfPhase == SimtFrame::PhaseElse &&
+        (Stack.back().ElseMask & laneBit(I)))
+      break;
+    setState(I, LaneState::AtBranchElse);
+    break;
+  case OpKind::BranchEnd:
+    setState(I, LaneState::AtBranchEnd);
+    break;
+  case OpKind::LoopBegin:
+    setState(I, LaneState::AtLoopBegin);
+    break;
+  case OpKind::LoopTest:
+    setState(I, LaneState::AtLoopTest);
+    break;
+  case OpKind::LoopEnd:
+    setState(I, LaneState::AtLoopEnd);
+    break;
+  case OpKind::BlockBarrier:
+    setState(I, LaneState::AtBlockBarrier);
+    Dev.noteBarrierArrival(*Block);
+    break;
+  case OpKind::MemWait: {
+    // Park only when the condition does not already hold; the caller
+    // re-checks after waking, so a spurious immediate pass is fine.
+    Word Cur = Dev.memory().load(L.PendingOp.Address);
+    if (!memWaitSatisfied(L.PendingOp.Wait, Cur, L.PendingOp.Cycles)) {
+      setState(I, LaneState::AtMemWait);
+      Dev.addWatch(L.PendingOp.Address,
+                   {this, I, L.PendingOp.Cycles, L.PendingOp.Wait});
+    }
+    break;
+  }
+  case OpKind::None:
+    gpustm_unreachable("lane yielded no operation");
+  }
+}
+
+void Warp::resolveConvergence() {
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+
+    // Pop frames whose members have all finished.
+    while (!Stack.empty() && liveMask(Stack.back().Members) == 0) {
+      Stack.pop_back();
+      Changed = true;
+    }
+
+    uint64_t Ctx = contextMask();
+    if (Ctx == 0)
+      return; // Warp drained.
+
+    // Warp-wide convergence point.
+    if (allInState(Ctx, LaneState::AtWarpSync)) {
+      releaseLanes(Ctx);
+      Changed = true;
+      continue;
+    }
+
+    // Warp vote.
+    if (allInState(Ctx, LaneState::AtBallot)) {
+      uint64_t Mask = 0;
+      for (unsigned I = 0; I < Lanes.size(); ++I)
+        if ((Ctx & laneBit(I)) && Lanes[I].PendingOp.Flag)
+          Mask |= laneBit(I);
+      for (unsigned I = 0; I < Lanes.size(); ++I) {
+        if (!(Ctx & laneBit(I)))
+          continue;
+        Lanes[I].OpResult = static_cast<Word>(Mask);
+        Lanes[I].OpResultHi = static_cast<Word>(Mask >> 32);
+      }
+      releaseLanes(Ctx);
+      Changed = true;
+      continue;
+    }
+
+    // simtIf entry: push a frame once every context lane has arrived.
+    if (allInState(Ctx, LaneState::AtBranchBegin)) {
+      SimtFrame F;
+      F.Kind = SimtFrame::If;
+      F.Members = Ctx;
+      for (unsigned I = 0; I < Lanes.size(); ++I) {
+        if (!(Ctx & laneBit(I)))
+          continue;
+        if (Lanes[I].PendingOp.Flag)
+          F.ThenMask |= laneBit(I);
+        else
+          F.ElseMask |= laneBit(I);
+      }
+      if (F.ThenMask != 0) {
+        F.IfPhase = SimtFrame::PhaseThen;
+        Stack.push_back(F);
+        releaseLanes(F.ThenMask);
+      } else {
+        F.IfPhase = SimtFrame::PhaseElse;
+        Stack.push_back(F);
+        releaseLanes(F.ElseMask);
+      }
+      Changed = true;
+      continue;
+    }
+
+    // simtWhile entry.
+    if (allInState(Ctx, LaneState::AtLoopBegin)) {
+      SimtFrame F;
+      F.Kind = SimtFrame::Loop;
+      F.Members = Ctx;
+      F.LoopActive = Ctx;
+      Stack.push_back(F);
+      releaseLanes(Ctx);
+      Changed = true;
+      continue;
+    }
+
+    if (Stack.empty())
+      continue;
+    SimtFrame &F = Stack.back();
+
+    if (F.Kind == SimtFrame::If) {
+      switch (F.IfPhase) {
+      case SimtFrame::PhaseThen:
+        // Then side complete once every live then-lane parked at the else
+        // boundary.
+        if (allInState(liveMask(F.ThenMask), LaneState::AtBranchElse)) {
+          if (liveMask(F.ElseMask) != 0) {
+            F.IfPhase = SimtFrame::PhaseElse;
+            releaseLanes(F.ElseMask);
+          } else {
+            F.IfPhase = SimtFrame::PhaseJoin;
+            releaseLanes(F.ThenMask);
+          }
+          Changed = true;
+        }
+        break;
+      case SimtFrame::PhaseElse:
+        // Else side complete once every live else-lane parked at the
+        // reconvergence point; drain the then side to it.
+        if (allInState(liveMask(F.ElseMask), LaneState::AtBranchEnd)) {
+          F.IfPhase = SimtFrame::PhaseJoin;
+          releaseLanes(F.ThenMask);
+          Changed = true;
+        }
+        break;
+      case SimtFrame::PhaseJoin:
+        if (allInState(liveMask(F.Members), LaneState::AtBranchEnd)) {
+          uint64_t Members = F.Members;
+          Stack.pop_back();
+          releaseLanes(Members);
+          Changed = true;
+        }
+        break;
+      }
+      continue;
+    }
+
+    // Loop frame.
+    if (F.LoopActive != 0) {
+      if (allInState(liveMask(F.LoopActive), LaneState::AtLoopTest)) {
+        uint64_t TrueSet = 0;
+        uint64_t Remaining = liveMask(F.LoopActive);
+        for (unsigned I = 0; I < Lanes.size(); ++I)
+          if ((Remaining & laneBit(I)) && Lanes[I].PendingOp.Flag)
+            TrueSet |= laneBit(I);
+        if (TrueSet != 0) {
+          // Lanes whose condition turned false are masked off at the loop
+          // exit (hardware reconvergence wait): this is what deadlocks the
+          // paper's Scheme #1 spinlock.
+          for (unsigned I = 0; I < Lanes.size(); ++I)
+            if ((Remaining & laneBit(I)) && !(TrueSet & laneBit(I)))
+              setState(I, LaneState::AtLoopExit);
+          F.LoopActive = TrueSet;
+          releaseLanes(TrueSet);
+        } else {
+          // Everyone is done: drain all members to the loop end.
+          F.LoopActive = 0;
+          uint64_t Live = liveMask(F.Members);
+          for (unsigned I = 0; I < Lanes.size(); ++I)
+            if ((Live & laneBit(I)) && Lanes[I].State != LaneState::AtLoopEnd)
+              setState(I, LaneState::Runnable);
+        }
+        Changed = true;
+      }
+    } else {
+      if (allInState(liveMask(F.Members), LaneState::AtLoopEnd)) {
+        uint64_t Members = F.Members;
+        Stack.pop_back();
+        releaseLanes(Members);
+        Changed = true;
+      }
+    }
+  }
+}
+
+RoundCost Warp::costRound(const std::vector<unsigned> &Stepped) {
+  const TimingConfig &T = Dev.config().Timing;
+  RoundCost C;
+  C.SmOccupancy = T.IssueCycles;
+
+  // Gather this round's coalescable segments and atomic targets.
+  Addr MemSegments[64];
+  unsigned NumMemSegments = 0;
+  Addr AtomicAddrs[64];
+  unsigned AtomicCounts[64];
+  unsigned NumAtomicAddrs = 0;
+  uint32_t MaxCompute = 0;
+  bool AnyMem = false, AnyAtomic = false, AnyFence = false, AnySync = false;
+
+  auto AddSegment = [&](Addr Segment) {
+    for (unsigned I = 0; I < NumMemSegments; ++I)
+      if (MemSegments[I] == Segment)
+        return;
+    MemSegments[NumMemSegments++] = Segment;
+  };
+
+  for (unsigned LaneIdx : Stepped) {
+    Lane &L = Lanes[LaneIdx];
+    if (L.State == LaneState::Finished)
+      continue;
+    const Op &O = L.PendingOp;
+    switch (O.Kind) {
+    case OpKind::Load:
+    case OpKind::Store:
+      AnyMem = true;
+      AddSegment(O.Address / T.SegmentWords);
+      break;
+    case OpKind::Atomic: {
+      AnyAtomic = true;
+      bool Found = false;
+      for (unsigned I = 0; I < NumAtomicAddrs; ++I) {
+        if (AtomicAddrs[I] == O.Address) {
+          ++AtomicCounts[I];
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        AtomicAddrs[NumAtomicAddrs] = O.Address;
+        AtomicCounts[NumAtomicAddrs] = 1;
+        ++NumAtomicAddrs;
+      }
+      break;
+    }
+    case OpKind::Fence:
+      AnyFence = true;
+      break;
+    case OpKind::Compute:
+      MaxCompute = std::max(MaxCompute, O.Cycles);
+      break;
+    case OpKind::MemWait:
+      // Costs one polling load.
+      AnyMem = true;
+      AddSegment(O.Address / T.SegmentWords);
+      break;
+    default:
+      AnySync = true;
+      break;
+    }
+  }
+
+  uint32_t Latency = 0;
+  if (AnyMem) {
+    Latency = std::max(Latency, T.GlobalMemLatency);
+    C.SmOccupancy += (NumMemSegments - 1) * T.PerSegmentCycles;
+    C.MemTransactions += NumMemSegments;
+  }
+  if (AnyAtomic) {
+    unsigned MaxPerAddr = 0;
+    for (unsigned I = 0; I < NumAtomicAddrs; ++I)
+      MaxPerAddr = std::max(MaxPerAddr, AtomicCounts[I]);
+    Latency = std::max(Latency, T.GlobalMemLatency +
+                                    (MaxPerAddr - 1) * T.AtomicSerializeCycles);
+    C.SmOccupancy += NumAtomicAddrs * T.PerSegmentCycles;
+    C.MemTransactions += NumAtomicAddrs;
+  }
+  if (AnyFence)
+    Latency = std::max(Latency, T.FenceCycles);
+  if (MaxCompute > 0) {
+    C.SmOccupancy += MaxCompute;
+    Latency = std::max(Latency, MaxCompute);
+  }
+  if (AnySync)
+    Latency = std::max(Latency, T.SyncCycles);
+  C.WarpLatency = std::max<uint32_t>(C.SmOccupancy, Latency);
+
+  // Per-lane attribution for the Figure 5 breakdown: each lane is charged
+  // the base cost of its own operation.
+  for (unsigned LaneIdx : Stepped) {
+    Lane &L = Lanes[LaneIdx];
+    if (L.State == LaneState::Finished)
+      continue;
+    const Op &O = L.PendingOp;
+    uint64_t Cost = 0;
+    switch (O.Kind) {
+    case OpKind::Load:
+    case OpKind::Store:
+    case OpKind::MemWait:
+      Cost = T.GlobalMemLatency;
+      break;
+    case OpKind::Atomic: {
+      unsigned Count = 1;
+      for (unsigned I = 0; I < NumAtomicAddrs; ++I)
+        if (AtomicAddrs[I] == O.Address)
+          Count = AtomicCounts[I];
+      Cost = T.GlobalMemLatency + (Count - 1) * T.AtomicSerializeCycles;
+      break;
+    }
+    case OpKind::Fence:
+      Cost = T.FenceCycles;
+      break;
+    case OpKind::Compute:
+      Cost = O.Cycles;
+      break;
+    default:
+      Cost = T.SyncCycles;
+      break;
+    }
+    L.charge(Cost);
+  }
+  return C;
+}
+
+RoundCost Warp::executeRound() {
+  SteppedThisRound.clear();
+  for (unsigned I = 0; I < Lanes.size(); ++I)
+    if (Lanes[I].State == LaneState::Runnable)
+      SteppedThisRound.push_back(I);
+  assert(!SteppedThisRound.empty() && "executeRound without runnable lanes");
+
+  for (unsigned I : SteppedThisRound)
+    stepLane(I);
+
+  if (GPUSTM_UNLIKELY(static_cast<bool>(Dev.TraceHook))) {
+    for (unsigned I : SteppedThisRound) {
+      const Lane &L = Lanes[I];
+      TraceEvent E;
+      E.IssueCycle = Dev.CurrentIssueCycle;
+      E.BlockIdx = Block->BlockIdx;
+      E.WarpIdInBlock = WarpIdInBlock;
+      E.LaneIdx = I;
+      E.Kind = L.State == LaneState::Finished ? OpKind::None : L.PendingOp.Kind;
+      E.Address = L.PendingOp.Address;
+      E.LanePhase = L.CurPhase;
+      Dev.TraceHook(E);
+    }
+  }
+
+  RoundCost Cost = costRound(SteppedThisRound);
+  if (ConvergencePending) {
+    resolveConvergence();
+    // Keep resolving on later rounds while any lane remains parked.
+    ConvergencePending = NumRunnable + NumFinished < Lanes.size();
+  }
+
+  Dev.Counters.Rounds += 1;
+  Dev.Counters.MemTransactions += Cost.MemTransactions;
+  return Cost;
+}

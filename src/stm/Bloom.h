@@ -1,0 +1,57 @@
+//===- stm/Bloom.h - Per-transaction write-set bloom filter -----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Here, a bloom filter for each transaction is used to compress the
+/// write-set" (Section 3.2.2, TXRead).  The filter lives in registers (one
+/// 64-bit word, two hash functions); a hit still requires scanning the
+/// write-set, a miss skips the scan entirely.  No false negatives, ever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_STM_BLOOM_H
+#define GPUSTM_STM_BLOOM_H
+
+#include "simt/Memory.h"
+
+#include <cstdint>
+
+namespace gpustm {
+namespace stm {
+
+/// A 64-bit, two-hash bloom filter over addresses.
+class BloomFilter {
+public:
+  /// Remove all elements.
+  void clear() { Bits = 0; }
+
+  /// Record \p A.
+  void insert(simt::Addr A) { Bits |= maskFor(A); }
+
+  /// True when \p A *may* have been inserted (no false negatives).
+  bool mayContain(simt::Addr A) const {
+    uint64_t M = maskFor(A);
+    return (Bits & M) == M;
+  }
+
+  /// True when nothing was ever inserted.
+  bool empty() const { return Bits == 0; }
+
+private:
+  static uint64_t maskFor(simt::Addr A) {
+    // Two cheap independent hashes into [0, 64).
+    uint32_t H1 = (A * 2654435761u) >> 26;
+    uint32_t H2 = ((A ^ 0x9e3779b9u) * 40503u) >> 26;
+    return (uint64_t(1) << H1) | (uint64_t(1) << H2);
+  }
+
+  uint64_t Bits = 0;
+};
+
+} // namespace stm
+} // namespace gpustm
+
+#endif // GPUSTM_STM_BLOOM_H

@@ -1,0 +1,150 @@
+//===- stm/Config.h - GPU-STM configuration ---------------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration for the GPU-STM runtime: the variant under test (the
+/// paper's Figure 2 compares seven), metadata sizes, and log capacities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_STM_CONFIG_H
+#define GPUSTM_STM_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpustm {
+namespace stm {
+
+/// Synchronization variants evaluated in the paper (Section 4.2).
+enum class Variant : uint8_t {
+  CGL,        ///< Coarse-grained lock baseline (single global spinlock).
+  VBV,        ///< NOrec-like: single global sequence lock + value validation.
+  TBVSorting, ///< TL2-like timestamp validation + encounter-time lock-sorting.
+  HVSorting,  ///< Hierarchical validation + lock-sorting (the contribution).
+  HVBackoff,  ///< Hierarchical validation + GPU-specific backoff locking.
+  Optimized,  ///< Adaptive HV/TBV selection at startup + lock-sorting.
+  EGPGV,      ///< Cederman-style blocking STM: one transaction per block.
+};
+
+/// Printable variant name (the paper's labels).
+inline const char *variantName(Variant V) {
+  switch (V) {
+  case Variant::CGL:
+    return "CGL";
+  case Variant::VBV:
+    return "STM-VBV";
+  case Variant::TBVSorting:
+    return "STM-TBV-Sorting";
+  case Variant::HVSorting:
+    return "STM-HV-Sorting";
+  case Variant::HVBackoff:
+    return "STM-HV-Backoff";
+  case Variant::Optimized:
+    return "STM-Optimized";
+  case Variant::EGPGV:
+    return "STM-EGPGV";
+  }
+  return "invalid";
+}
+
+/// Validation policy resolved from the variant (Section 3.1).
+enum class Validation : uint8_t {
+  TBV, ///< Timestamp-based only: stale snapshot => abort.
+  HV,  ///< Hierarchical: stale snapshot => value-based post-validation.
+  VBV, ///< NOrec-style: values only, filtered by the global sequence lock.
+};
+
+/// Commit-time locking policy (Section 3.1 / 4.2).
+enum class CommitLocking : uint8_t {
+  Sorted,  ///< Encounter-time lock-sorting; global acquisition order.
+  Backoff, ///< Unsorted logs + warp-serialized retry (STM-HV-Backoff).
+};
+
+/// STM runtime configuration (the arguments of STM_STARTUP in Figure 1).
+struct StmConfig {
+  Variant Kind = Variant::HVSorting;
+  /// Global version locks (power of two; the paper uses 1M by default).
+  size_t NumLocks = 1u << 20;
+  /// Per-transaction read-set capacity (entries).
+  unsigned ReadSetCap = 64;
+  /// Per-transaction write-set capacity (entries).
+  unsigned WriteSetCap = 64;
+  /// Lock-log order-preserving hash table shape (buckets x capacity).
+  unsigned LockLogBuckets = 16;
+  unsigned LockLogBucketCap = 16;
+  /// Amount of shared data (words) the kernels will access; drives the
+  /// adaptive HV/TBV selection of STM-Optimized ("usually ... obtained by
+  /// counting the elements of arrays before transaction kernels start").
+  size_t SharedDataWords = 0;
+  /// Warp-interleaved ("coalesced") log layout; false gives the per-thread
+  /// contiguous layout for the coalescing ablation.
+  bool CoalescedLogs = true;
+  /// Run the optional pre-lock VBV of Algorithm 3 line 71 (reduces lock
+  /// contention for HV variants).
+  bool PreLockValidation = true;
+  /// Transaction scheduler (the paper's Section 4.2 future work: "a
+  /// transaction scheduler that dynamically adjusts concurrency").  When
+  /// enabled, every transaction attempt claims one of SchedulerCap
+  /// admission slots; threads over the cap park until slots free.  With
+  /// SchedulerAdaptive, a hill-climbing controller resizes the cap every
+  /// SchedulerPeriod commits toward higher commit throughput
+  /// (commits per modeled cycle).
+  bool EnableScheduler = false;
+  bool SchedulerAdaptive = true;
+  /// Initial/static concurrency cap (0 = total threads of the launch).
+  unsigned SchedulerCap = 0;
+  /// Commits between controller adjustments.
+  unsigned SchedulerPeriod = 256;
+
+  /// Adaptive commit-locking (the paper's other Section 4.2 future work:
+  /// "adaptive selection between lock sorting and backoff may yield better
+  /// overall performance").  When enabled on a sorted variant, the runtime
+  /// probes both policies for LockingProbeCommits commits each, then
+  /// settles on the faster one (commit throughput in modeled cycles).
+  /// In-flight transactions keep the policy they began with; brief mixing
+  /// is safe because the backoff path serializes retries.
+  bool AdaptiveLocking = false;
+  unsigned LockingProbeCommits = 384;
+
+  /// Ablation knob: keep lock-logs in encounter order even under the
+  /// Sorted commit policy.  This reproduces the intra-warp circular-locking
+  /// livelock of Section 2.2 that encounter-time lock-sorting eliminates
+  /// (the run trips the simulator watchdog).  Never enable in real use.
+  bool DisableSorting = false;
+
+  /// The validation policy this variant resolves to.  STM-Optimized picks
+  /// HV only when the shared data outnumbers the version locks (Section
+  /// 4.2); otherwise false conflicts are rare and VBV would be wasted work.
+  Validation validation() const {
+    switch (Kind) {
+    case Variant::VBV:
+      return Validation::VBV;
+    case Variant::TBVSorting:
+      return Validation::TBV;
+    case Variant::HVSorting:
+    case Variant::HVBackoff:
+      return Validation::HV;
+    case Variant::Optimized:
+      return SharedDataWords > NumLocks ? Validation::HV : Validation::TBV;
+    case Variant::CGL:
+    case Variant::EGPGV:
+      break;
+    }
+    return Validation::TBV; // EGPGV commits under per-stripe locks.
+  }
+
+  /// The commit-locking policy this variant resolves to.
+  CommitLocking locking() const {
+    return Kind == Variant::HVBackoff ? CommitLocking::Backoff
+                                      : CommitLocking::Sorted;
+  }
+};
+
+} // namespace stm
+} // namespace gpustm
+
+#endif // GPUSTM_STM_CONFIG_H

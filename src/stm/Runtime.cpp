@@ -1,0 +1,251 @@
+//===- stm/Runtime.cpp - GPU-STM runtime ----------------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Runtime.h"
+#include "stm/Tx.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+
+using namespace gpustm;
+using namespace gpustm::stm;
+using simt::Addr;
+using simt::LaunchConfig;
+using simt::Phase;
+using simt::ThreadCtx;
+
+StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
+                       const LaunchConfig &MaxLaunch)
+    : Dev(Dev), Config(Config), Val(Config.validation()),
+      Locking(Config.locking()) {
+  if (!isPowerOf2(Config.NumLocks))
+    reportFatalError("NumLocks must be a power of two");
+  CurrentLocking = Locking;
+  if (Config.AdaptiveLocking) {
+    if (Config.DisableSorting)
+      reportFatalError("AdaptiveLocking conflicts with DisableSorting");
+    CurrentLocking = CommitLocking::Sorted; // Probe sorted first.
+  }
+  unsigned WarpSize = Dev.config().WarpSize;
+  unsigned WarpsPerBlock =
+      static_cast<unsigned>(divideCeil(MaxLaunch.BlockDim, WarpSize));
+  unsigned NumWarps = MaxLaunch.GridDim * WarpsPerBlock;
+  unsigned NumThreads = MaxLaunch.GridDim * MaxLaunch.BlockDim;
+
+  // Global metadata.
+  LockTabBase = Dev.hostAlloc(Config.NumLocks);
+  ClockAddr = Dev.hostAlloc(1);
+  SeqLockAddr = Dev.hostAlloc(1);
+  CglTicketAddr = Dev.hostAlloc(1);
+  CglServingAddr = Dev.hostAlloc(1);
+  TokenBase = Dev.hostAlloc(NumWarps);
+  SchedTicketAddr = Dev.hostAlloc(1);
+  SchedDoneAddr = Dev.hostAlloc(1);
+  SchedCapAddr = Dev.hostAlloc(1);
+  SchedMaxCap = NumThreads;
+  Dev.memory().store(SchedCapAddr,
+                     Config.SchedulerCap ? Config.SchedulerCap : NumThreads);
+
+  // Per-warp coalesced log arenas (STM_NEW_WARP in Figure 1).
+  unsigned LockSlots = Config.LockLogBuckets * Config.LockLogBucketCap;
+  size_t PerWarpWords =
+      LogView::wordsRequired(Config.ReadSetCap, WarpSize) * 2 +
+      LogView::wordsRequired(Config.WriteSetCap, WarpSize) * 2 +
+      LogView::wordsRequired(LockSlots, WarpSize);
+  Addr LogArena = Dev.hostAlloc(PerWarpWords * NumWarps);
+
+  // The order-preserving hash: the bucket is the high bits of the lock id.
+  unsigned LockBits = log2Floor(Config.NumLocks);
+  unsigned BucketBits = log2Floor(nextPowerOf2(Config.LockLogBuckets));
+  unsigned BucketShift = LockBits > BucketBits ? LockBits - BucketBits : 0;
+
+  Descs.resize(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    TxDesc &D = Descs[T];
+    unsigned Block = T / MaxLaunch.BlockDim;
+    unsigned InBlock = T % MaxLaunch.BlockDim;
+    unsigned WarpId = Block * WarpsPerBlock + InBlock / WarpSize;
+    D.Lane = InBlock % WarpSize;
+
+    Addr Base = LogArena + static_cast<Addr>(PerWarpWords) * WarpId;
+    auto View = [&](unsigned Cap) {
+      LogView V;
+      V.Base = Base;
+      V.Cap = Cap;
+      V.WarpSize = WarpSize;
+      V.Coalesced = Config.CoalescedLogs;
+      Base += static_cast<Addr>(LogView::wordsRequired(Cap, WarpSize));
+      return V;
+    };
+    D.ReadAddrs = View(Config.ReadSetCap);
+    D.ReadVals = View(Config.ReadSetCap);
+    D.WriteAddrs = View(Config.WriteSetCap);
+    D.WriteVals = View(Config.WriteSetCap);
+    LogView LockView = View(LockSlots);
+    bool Sorted = Locking == CommitLocking::Sorted && !Config.DisableSorting;
+    D.Locks.configure(LockView, D.Lane, Config.LockLogBuckets,
+                      Config.LockLogBucketCap, BucketShift,
+                      Sorted ? LockLog::Mode::Sorted : LockLog::Mode::Append);
+  }
+}
+
+void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
+  // Coarse-grained locking baseline: serialize every critical section under
+  // one global lock.  A ticket lock is SIMT-safe (every thread waits on its
+  // own serving value, so lanes of one warp never spin on each other) and
+  // lets the simulator park waiters instead of polling.
+  TxDesc &D = descFor(Ctx);
+  Tx T(*this, Ctx, D, Tx::ModeT::Direct);
+  Ctx.setPhase(Phase::Locking);
+  Word MyTicket = Ctx.atomicAdd(CglTicketAddr, 1);
+  for (;;) {
+    Word Serving = Ctx.load(CglServingAddr);
+    if (Serving == MyTicket)
+      break;
+    Ctx.memWaitEquals(CglServingAddr, MyTicket);
+  }
+  Ctx.setPhase(Phase::Native);
+  Body(T);
+  Ctx.threadfence();
+  Ctx.setPhase(Phase::Locking);
+  D.LastCommitVersion = static_cast<Word>(++CglSerial);
+  Ctx.store(CglServingAddr, MyTicket + 1);
+  ++Counters.Commits;
+  Ctx.setPhase(Phase::Native);
+}
+
+void StmRuntime::schedulerAcquire(ThreadCtx &Ctx) {
+  // Ticketed admission: transaction with ticket t may start once at least
+  // t - cap + 1 transactions have finished, i.e. at most `cap` run at a
+  // time.  The done-counter is monotonic, so parked lanes use a
+  // greater-or-equal wait (one wake per waiter, no thundering herd).
+  Ctx.setPhase(simt::Phase::TxInit);
+  Word Ticket = Ctx.atomicAdd(SchedTicketAddr, 1);
+  Word Cap = Dev.memory().load(SchedCapAddr); // controller word
+  if (Ticket >= Cap) {
+    Word Target = Ticket - Cap + 1;
+    for (;;) {
+      Word Done = Ctx.load(SchedDoneAddr);
+      if (Done >= Target)
+        break;
+      Ctx.memWaitGreaterEq(SchedDoneAddr, Target);
+    }
+  }
+  Ctx.setPhase(simt::Phase::Native);
+}
+
+void StmRuntime::schedulerRelease(ThreadCtx &Ctx) {
+  Ctx.setPhase(simt::Phase::TxInit);
+  Ctx.atomicAdd(SchedDoneAddr, 1);
+  Ctx.setPhase(simt::Phase::Native);
+}
+
+void StmRuntime::schedulerAdjust() {
+  if (SchedWindowCommits < Config.SchedulerPeriod)
+    return;
+  uint64_t Now = Dev.now();
+  uint64_t Elapsed = Now > SchedWindowStart ? Now - SchedWindowStart : 1;
+  double Throughput =
+      static_cast<double>(SchedWindowCommits) / static_cast<double>(Elapsed);
+  SchedWindowCommits = SchedWindowAborts = 0;
+  SchedWindowStart = Now;
+
+  // Hill-climb: keep moving the cap in the current direction while commit
+  // throughput improves; reverse when it degrades.
+  if (SchedPrevThroughput >= 0.0 && Throughput < SchedPrevThroughput)
+    SchedGrowing = !SchedGrowing;
+  SchedPrevThroughput = Throughput;
+  Word Cap = Dev.memory().load(SchedCapAddr);
+  if (SchedGrowing)
+    Cap = Cap * 2 <= SchedMaxCap ? Cap * 2 : static_cast<Word>(SchedMaxCap);
+  else
+    Cap = Cap > 16 ? Cap / 2 : 8;
+  Dev.memory().store(SchedCapAddr, Cap);
+}
+
+void StmRuntime::lockingController() {
+  ++ProbeCommitsSeen;
+  if (ProbeCommitsSeen < Config.LockingProbeCommits)
+    return;
+  uint64_t Now = Dev.now();
+  uint64_t Elapsed = Now > ProbeStartCycle ? Now - ProbeStartCycle : 1;
+  double Throughput = static_cast<double>(ProbeCommitsSeen) /
+                      static_cast<double>(Elapsed);
+  ProbeCommitsSeen = 0;
+  ProbeStartCycle = Now;
+
+  // Update the decayed estimate of the policy that just ran.
+  unsigned Cur = CurrentLocking == CommitLocking::Sorted ? 0 : 1;
+  LockingEstimate[Cur] = LockingEstimate[Cur] < 0.0
+                             ? Throughput
+                             : 0.5 * LockingEstimate[Cur] + 0.5 * Throughput;
+  ++ProbeWindows;
+
+  // Explore the other policy when it is unmeasured or on the periodic
+  // re-probe tick; otherwise exploit the better estimate.
+  unsigned Other = 1 - Cur;
+  if (LockingEstimate[Other] < 0.0 || ProbeWindows % 6 == 5) {
+    CurrentLocking =
+        Other == 0 ? CommitLocking::Sorted : CommitLocking::Backoff;
+    return;
+  }
+  CurrentLocking = LockingEstimate[0] >= LockingEstimate[1]
+                       ? CommitLocking::Sorted
+                       : CommitLocking::Backoff;
+}
+
+void StmRuntime::transaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
+  if (Config.Kind == Variant::CGL) {
+    cglTransaction(Ctx, Body);
+    return;
+  }
+  bool Scheduled = Config.EnableScheduler;
+  TxDesc &D = descFor(Ctx);
+  for (;;) {
+    // Each attempt re-queues for admission, so an aborting transaction
+    // yields its slot and conflicting work drains at the throttled rate.
+    if (Scheduled)
+      schedulerAcquire(Ctx);
+    Ctx.txMarkBegin();
+    Tx T(*this, Ctx, D, Tx::ModeT::Instrumented);
+    T.begin();
+    Body(T);
+    bool Committed = T.valid() && T.commit();
+    Ctx.txMarkEnd(Committed);
+    if (Committed) {
+      ++Counters.Commits;
+      ++SchedWindowCommits;
+      if (Config.AdaptiveLocking)
+        lockingController();
+    } else {
+      ++Counters.Aborts;
+      ++SchedWindowAborts;
+    }
+    if (Scheduled) {
+      schedulerRelease(Ctx);
+      if (Config.SchedulerAdaptive)
+        schedulerAdjust();
+    }
+    if (Committed)
+      break;
+  }
+}
+
+StatsSet StmRuntime::statsSet() const {
+  StatsSet S;
+  S.set("stm.commits", Counters.Commits);
+  S.set("stm.read_only_commits", Counters.ReadOnlyCommits);
+  S.set("stm.aborts", Counters.Aborts);
+  S.set("stm.aborts.read_validation", Counters.AbortsReadValidation);
+  S.set("stm.aborts.commit_validation", Counters.AbortsCommitValidation);
+  S.set("stm.lock_failures", Counters.LockFailures);
+  S.set("stm.stale_snapshots", Counters.StaleSnapshots);
+  S.set("stm.false_conflicts_avoided", Counters.FalseConflictsAvoided);
+  S.set("stm.vbv_runs", Counters.VbvRuns);
+  S.set("stm.tx_reads", Counters.TxReads);
+  S.set("stm.tx_writes", Counters.TxWrites);
+  return S;
+}

@@ -1,0 +1,194 @@
+//===- stm/Runtime.h - GPU-STM runtime (STM_STARTUP et al.) -----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// StmRuntime is the host-visible half of GPU-STM (STM_STARTUP /
+/// STM_SHUTDOWN / STM_NEW_WARP in the paper's Figure 1): it allocates the
+/// global metadata (version-lock table, global clock/sequence lock, the
+/// per-warp coalesced read/write/lock logs) in simulated global memory and
+/// exposes the transactional execution entry point used by kernels.
+///
+/// Typical kernel code:
+/// \code
+///   Dev.launch(L, [&](simt::ThreadCtx &Ctx) {
+///     Stm.transaction(Ctx, [&](stm::Tx &T) {
+///       Word V = T.read(A);
+///       if (!T.valid()) return;     // the paper's opacity flag
+///       T.write(B, V + 1);
+///     });
+///   });
+/// \endcode
+///
+/// transaction() retries the body until a commit succeeds, exactly like the
+/// `while(!done) done = TXCommit()` loop of Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_STM_RUNTIME_H
+#define GPUSTM_STM_RUNTIME_H
+
+#include "simt/Device.h"
+#include "stm/Bloom.h"
+#include "stm/Config.h"
+#include "stm/LockLog.h"
+#include "stm/TxLogs.h"
+#include "support/FunctionRef.h"
+#include "support/Stats.h"
+
+#include <vector>
+
+namespace gpustm {
+namespace stm {
+
+class Tx;
+
+/// Per-thread transaction descriptor ("registers" of the running
+/// transaction: snapshot, flags, set sizes, bloom filter, lock-log bucket
+/// counters).  The logs themselves live in simulated global memory.
+struct TxDesc {
+  Word Snapshot = 0;
+  bool Valid = true;   ///< The paper's isOpaque flag.
+  bool PassTBV = true; ///< Set false when a timestamp check went stale.
+  unsigned ReadCount = 0;
+  unsigned WriteCount = 0;
+  /// Clock/sequence value of the last successful commit: the transaction's
+  /// serialization order (used by the serializability-replay tests).
+  Word LastCommitVersion = 0;
+  BloomFilter WriteBloom;
+  LockLog Locks;
+  LogView ReadAddrs, ReadVals, WriteAddrs, WriteVals;
+  unsigned Lane = 0;
+  /// Commit-locking policy this transaction began with (fixed per attempt;
+  /// the adaptive-locking extension may move the global policy between
+  /// attempts).
+  CommitLocking TxLocking = CommitLocking::Sorted;
+};
+
+/// Host-side aggregate counters for one or more launches.
+struct StmCounters {
+  uint64_t Commits = 0;
+  uint64_t ReadOnlyCommits = 0;
+  uint64_t Aborts = 0;
+  uint64_t AbortsReadValidation = 0;
+  uint64_t AbortsCommitValidation = 0;
+  uint64_t LockFailures = 0;
+  uint64_t StaleSnapshots = 0;         ///< TBV check found version > snapshot.
+  uint64_t FalseConflictsAvoided = 0;  ///< ... but VBV then passed (HV wins).
+  uint64_t VbvRuns = 0;
+  uint64_t TxReads = 0;
+  uint64_t TxWrites = 0;
+};
+
+/// The GPU-STM runtime (see file comment).
+class StmRuntime {
+public:
+  /// STM_STARTUP: allocate global metadata sized for launches of at most
+  /// \p MaxLaunch on \p Dev.
+  StmRuntime(simt::Device &Dev, const StmConfig &Config,
+             const simt::LaunchConfig &MaxLaunch);
+
+  /// Run \p Body as one transaction, retrying until it commits.  For CGL
+  /// the body runs under the single global lock with direct memory access.
+  void transaction(simt::ThreadCtx &Ctx, function_ref<void(Tx &)> Body);
+
+  const StmConfig &config() const { return Config; }
+
+  /// The global-lock index guarding word address \p A (the paper derives
+  /// it from the address bits; table size is a power of two).
+  Word lockIndexFor(simt::Addr A) const {
+    return static_cast<Word>(A & (Config.NumLocks - 1));
+  }
+  /// Address of the version-lock word for lock index \p Idx.
+  simt::Addr lockWordAddr(Word Idx) const { return LockTabBase + Idx; }
+
+  /// Counters accumulated since the last resetCounters().
+  const StmCounters &counters() const { return Counters; }
+  void resetCounters() { Counters = StmCounters(); }
+  /// Counters exported as a named StatsSet.
+  StatsSet statsSet() const;
+
+  /// Effective validation policy after STM-Optimized's adaptive selection.
+  Validation validation() const { return Val; }
+
+  /// Serialization order of the given thread's last committed transaction.
+  Word lastCommitVersion(unsigned GlobalThreadId) const {
+    return Descs[GlobalThreadId].LastCommitVersion;
+  }
+
+  /// Current concurrency cap of the transaction scheduler (meaningful only
+  /// with EnableScheduler).
+  Word schedulerCap() const { return Dev.memory().load(SchedCapAddr); }
+
+  /// Commit-locking policy currently in force (moves only under
+  /// AdaptiveLocking).
+  CommitLocking currentLocking() const { return CurrentLocking; }
+
+private:
+  friend class Tx;
+
+  TxDesc &descFor(const simt::ThreadCtx &Ctx) {
+    return Descs[Ctx.globalThreadId()];
+  }
+
+  void cglTransaction(simt::ThreadCtx &Ctx, function_ref<void(Tx &)> Body);
+
+  /// Transaction scheduler (Section 4.2 future work): slot claim/release
+  /// around a transaction, plus the host-side feedback controller that
+  /// retunes the cap from the recent abort rate.
+  void schedulerAcquire(simt::ThreadCtx &Ctx);
+  void schedulerRelease(simt::ThreadCtx &Ctx);
+  void schedulerAdjust();
+
+  /// Adaptive commit-locking probe (Section 4.2 future work): measures
+  /// commit throughput under Sorted then Backoff, then settles on the
+  /// faster policy.
+  void lockingController();
+
+  simt::Device &Dev;
+  StmConfig Config;
+  Validation Val;
+  CommitLocking Locking;
+
+  // Global metadata addresses in simulated memory.
+  simt::Addr LockTabBase = simt::InvalidAddr;
+  simt::Addr ClockAddr = simt::InvalidAddr;   ///< Global clock (TBV/HV).
+  simt::Addr SeqLockAddr = simt::InvalidAddr; ///< NOrec sequence lock (VBV).
+  simt::Addr CglTicketAddr = simt::InvalidAddr;  ///< CGL ticket counter.
+  simt::Addr CglServingAddr = simt::InvalidAddr; ///< CGL now-serving word.
+  simt::Addr SchedTicketAddr = simt::InvalidAddr; ///< Admission tickets.
+  simt::Addr SchedDoneAddr = simt::InvalidAddr;   ///< Finished transactions.
+  simt::Addr SchedCapAddr = simt::InvalidAddr;    ///< Concurrency cap.
+  simt::Addr TokenBase = simt::InvalidAddr;   ///< Per-warp backoff tokens.
+
+  std::vector<TxDesc> Descs;
+  StmCounters Counters;
+  /// Host-side serial number for CGL critical sections (they are totally
+  /// ordered by the single lock).
+  uint64_t CglSerial = 0;
+
+  // Adaptive-locking state (host side): epsilon-greedy over decayed
+  // per-policy throughput estimates, re-probing the loser periodically so
+  // the choice tracks the workload's contention regime.
+  CommitLocking CurrentLocking = CommitLocking::Sorted;
+  uint64_t ProbeCommitsSeen = 0;
+  uint64_t ProbeStartCycle = 0;
+  uint64_t ProbeWindows = 0;
+  double LockingEstimate[2] = {-1.0, -1.0}; ///< [Sorted, Backoff].
+
+  // Scheduler controller state (host side): hill-climbs the cap toward
+  // higher commit throughput.
+  unsigned SchedMaxCap = 0;
+  uint64_t SchedWindowCommits = 0;
+  uint64_t SchedWindowAborts = 0;
+  uint64_t SchedWindowStart = 0;
+  double SchedPrevThroughput = -1.0;
+  bool SchedGrowing = false;
+};
+
+} // namespace stm
+} // namespace gpustm
+
+#endif // GPUSTM_STM_RUNTIME_H

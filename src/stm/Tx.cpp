@@ -1,0 +1,409 @@
+//===- stm/Tx.cpp - Transaction engine (Algorithm 3) ----------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Line references in comments are to the paper's Algorithm 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tx.h"
+#include "stm/VersionLock.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace gpustm;
+using namespace gpustm::stm;
+using simt::Addr;
+using simt::Phase;
+
+void Tx::begin() {
+  if (Mode == ModeT::Direct)
+    return;
+  Ctx.setPhase(Phase::TxInit);
+  Desc.ReadCount = 0;
+  Desc.WriteCount = 0;
+  Desc.WriteBloom.clear();
+  Desc.TxLocking = Rt.CurrentLocking;
+  if (Rt.Config.AdaptiveLocking)
+    Desc.Locks.setMode(Desc.TxLocking == CommitLocking::Sorted
+                           ? LockLog::Mode::Sorted
+                           : LockLog::Mode::Append);
+  else
+    Desc.Locks.clear();
+  Desc.Valid = true;   // line 3 (isOpaque)
+  Desc.PassTBV = true; // line 3
+  if (Rt.Val == Validation::VBV) {
+    // NOrec: the snapshot must be even (no writer mid-commit).
+    Word S = Ctx.load(Rt.SeqLockAddr);
+    while (S & 1) {
+      Ctx.memWaitBitClear(Rt.SeqLockAddr, 1);
+      S = Ctx.load(Rt.SeqLockAddr);
+    }
+    Desc.Snapshot = S;
+  } else {
+    Desc.Snapshot = Ctx.load(Rt.ClockAddr); // line 4
+  }
+  Ctx.threadfence(); // line 5
+  Ctx.setPhase(Phase::Native);
+}
+
+Word Tx::read(Addr A) {
+  if (Mode == ModeT::Direct)
+    return Ctx.load(A);
+  assert(Desc.Valid && "reading in an aborted transaction");
+  ++Rt.Counters.TxReads;
+
+  // Line 22: return the speculative value if we wrote this address.
+  if (Desc.WriteBloom.mayContain(A)) {
+    Ctx.setPhase(Phase::Buffering);
+    for (unsigned I = 0; I < Desc.WriteCount; ++I) {
+      if (Ctx.load(writeAddrSlot(I)) == A) {
+        Word V = Ctx.load(writeValSlot(I));
+        Ctx.setPhase(Phase::Native);
+        return V;
+      }
+    }
+    Ctx.setPhase(Phase::Native);
+  }
+
+  Word Val = Ctx.load(A); // line 24
+
+  // Line 25: log the <addr, val> pair for future validation.
+  Ctx.setPhase(Phase::Buffering);
+  if (Desc.ReadCount >= Desc.ReadAddrs.Cap)
+    reportFatalError("read-set overflow: raise ReadSetCap in StmConfig");
+  Ctx.store(readAddrSlot(Desc.ReadCount), A);
+  Ctx.store(readValSlot(Desc.ReadCount), Val);
+  ++Desc.ReadCount;
+  Ctx.threadfence(); // line 26
+
+  Ctx.setPhase(Phase::Consistency);
+  if (Rt.Val == Validation::VBV) {
+    // NOrec: revalidate by value whenever the sequence lock moved.
+    Word S = Ctx.load(Rt.SeqLockAddr);
+    if (S != Desc.Snapshot && !norecPostValidate()) {
+      Desc.Valid = false;
+      ++Rt.Counters.AbortsReadValidation;
+    }
+    Ctx.setPhase(Phase::Native);
+    return Val;
+  }
+
+  // Lines 27-29: wait while a committing transaction holds the stripe.  A
+  // held lock is always released after the holder's write-back completes,
+  // so the value we then revalidate reflects the whole commit.
+  Word LockIdx = Rt.lockIndexFor(A);
+  Word VL = Ctx.load(Rt.lockWordAddr(LockIdx)); // line 28
+  while (lockBit(VL)) { // line 29: wait for the committing holder
+    Ctx.memWaitBitClear(Rt.lockWordAddr(LockIdx), 1);
+    VL = Ctx.load(Rt.lockWordAddr(LockIdx));
+  }
+
+  Word Version = lockVersion(VL); // line 30
+  if (Version > Desc.Snapshot) {  // line 31
+    ++Rt.Counters.StaleSnapshots;
+    if (Rt.Val == Validation::HV) {
+      if (!postValidation(Version)) { // line 32
+        Desc.Valid = false;           // line 33
+        ++Rt.Counters.AbortsReadValidation;
+      } else {
+        // The timestamp said "conflict" but the values say otherwise: a
+        // false conflict avoided -- the benefit of hierarchical validation.
+        ++Rt.Counters.FalseConflictsAvoided;
+      }
+    } else {
+      // Pure TBV (TL2-style): a stale snapshot is fatal.
+      Desc.Valid = false;
+      ++Rt.Counters.AbortsReadValidation;
+    }
+  }
+
+  if (Desc.Valid) {
+    // Line 34: remember the lock for commit-time acquisition (read-bit).
+    Ctx.setPhase(Phase::Buffering);
+    Desc.Locks.insert(Ctx, LockIdx, /*Wr=*/false, /*Rd=*/true);
+  }
+  Ctx.setPhase(Phase::Native);
+  return Val; // line 35
+}
+
+void Tx::write(Addr A, Word V) {
+  if (Mode == ModeT::Direct) {
+    Ctx.store(A, V);
+    return;
+  }
+  assert(Desc.Valid && "writing in an aborted transaction");
+  ++Rt.Counters.TxWrites;
+  Ctx.setPhase(Phase::Buffering);
+
+  // Line 37 (set union semantics): update in place when already buffered.
+  if (Desc.WriteBloom.mayContain(A)) {
+    for (unsigned I = 0; I < Desc.WriteCount; ++I) {
+      if (Ctx.load(writeAddrSlot(I)) == A) {
+        Ctx.store(writeValSlot(I), V);
+        Ctx.setPhase(Phase::Native);
+        return;
+      }
+    }
+  }
+  if (Desc.WriteCount >= Desc.WriteAddrs.Cap)
+    reportFatalError("write-set overflow: raise WriteSetCap in StmConfig");
+  Ctx.store(writeAddrSlot(Desc.WriteCount), A);
+  Ctx.store(writeValSlot(Desc.WriteCount), V);
+  ++Desc.WriteCount;
+  Desc.WriteBloom.insert(A);
+
+  // Line 38: remember the lock (write-bit).  NOrec has no lock table.
+  if (Rt.Val != Validation::VBV)
+    Desc.Locks.insert(Ctx, Rt.lockIndexFor(A), /*Wr=*/true, /*Rd=*/false);
+  Ctx.setPhase(Phase::Native);
+}
+
+bool Tx::postValidation(Word Version) {
+  Desc.Snapshot = Version; // line 7
+  for (;;) {               // line 8
+    // Lines 9-11: value-based validation of every logged read.
+    for (unsigned I = 0; I < Desc.ReadCount; ++I) {
+      Addr A = Ctx.load(readAddrSlot(I));
+      Word Logged = Ctx.load(readValSlot(I));
+      if (Ctx.load(A) != Logged)
+        return false;
+    }
+    Ctx.threadfence(); // line 12
+    // Lines 13-19: the validated values must not have been overwritten by
+    // a concurrent commit while we were checking them.
+    bool Retry = false;
+    for (unsigned I = 0; I < Desc.ReadCount; ++I) {
+      Addr A = Ctx.load(readAddrSlot(I));
+      Word VL = Ctx.load(Rt.lockWordAddr(Rt.lockIndexFor(A)));
+      if (lockBit(VL) || lockVersion(VL) > Desc.Snapshot) { // line 17
+        Desc.Snapshot = lockVersion(VL);                    // line 18
+        Retry = true;                                       // line 19
+        break;
+      }
+    }
+    if (!Retry)
+      return true; // line 20
+  }
+}
+
+bool Tx::vbv() {
+  ++Rt.Counters.VbvRuns;
+  for (unsigned I = 0; I < Desc.ReadCount; ++I) { // lines 62-66
+    Addr A = Ctx.load(readAddrSlot(I));
+    Word Logged = Ctx.load(readValSlot(I));
+    if (Ctx.load(A) != Logged)
+      return false;
+  }
+  return true;
+}
+
+bool Tx::getLocksAndTBV(Word *FailedLock) {
+  unsigned Acquired = 0;
+  bool Failed = false;
+  Desc.Locks.forEachUntil(
+      Ctx, Desc.Locks.size(), [&](Word Idx, bool Wr, bool Rd) {
+        (void)Wr;
+        Word VL = Ctx.atomicOr(Rt.lockWordAddr(Idx), 1); // line 45
+        if (lockBit(VL)) {                               // line 46
+          Failed = true;
+          if (FailedLock)
+            *FailedLock = Idx;
+          return false;
+        }
+        ++Acquired;
+        if (Rd && lockVersion(VL) > Desc.Snapshot) // lines 49-50
+          Desc.PassTBV = false;                    // line 51
+        return true;
+      });
+  if (Failed) {
+    releaseLocks(Acquired); // line 47
+    ++Rt.Counters.LockFailures;
+    return false;
+  }
+  return true; // line 52
+}
+
+void Tx::releaseLocks(unsigned Count) {
+  // Lines 53-55: clear the lock bit of the first Count acquired locks.
+  Desc.Locks.forEachUntil(Ctx, Count, [&](Word Idx, bool, bool) {
+    Word VL = Ctx.load(Rt.lockWordAddr(Idx));
+    Ctx.store(Rt.lockWordAddr(Idx), VL - 1);
+    return true;
+  });
+}
+
+void Tx::releaseAndUpdateLocks(Word Version) {
+  // Lines 56-61: written stripes advance to the new version; read-only
+  // stripes just drop the lock bit.
+  Desc.Locks.forEach(Ctx, [&](Word Idx, bool Wr, bool) {
+    if (Wr) {
+      Ctx.store(Rt.lockWordAddr(Idx), makeVersionLock(Version)); // line 59
+    } else {
+      Word VL = Ctx.load(Rt.lockWordAddr(Idx));
+      Ctx.store(Rt.lockWordAddr(Idx), VL - 1); // line 61
+    }
+  });
+}
+
+bool Tx::validateAndWriteBack() {
+  if (!Desc.PassTBV) { // line 75
+    Ctx.setPhase(Phase::Commit);
+    bool Ok = Rt.Val == Validation::HV && vbv(); // line 76; TBV cannot recover
+    if (!Ok) {
+      Ctx.setPhase(Phase::Locking);
+      releaseLocks(Desc.Locks.size()); // line 77
+      ++Rt.Counters.AbortsCommitValidation;
+      return false; // line 78
+    }
+  }
+  Ctx.threadfence(); // line 79
+  Ctx.setPhase(Phase::Commit);
+  for (unsigned I = 0; I < Desc.WriteCount; ++I) { // lines 80-81
+    Addr A = Ctx.load(writeAddrSlot(I));
+    Word V = Ctx.load(writeValSlot(I));
+    Ctx.store(A, V);
+  }
+  Ctx.threadfence();                                // line 82
+  Word Version = Ctx.atomicAdd(Rt.ClockAddr, 1) + 1; // line 83
+  Desc.LastCommitVersion = Version;
+  Ctx.setPhase(Phase::Locking);
+  releaseAndUpdateLocks(Version); // line 84
+  return true;                    // line 85
+}
+
+bool Tx::commitSorted() {
+  for (;;) { // line 70
+    if (Rt.Config.PreLockValidation && Rt.Val == Validation::HV) {
+      Ctx.setPhase(Phase::Commit);
+      if (!vbv()) { // lines 71-72 (optional, reduces lock contention)
+        ++Rt.Counters.AbortsCommitValidation;
+        return false;
+      }
+    }
+    Ctx.setPhase(Phase::Locking);
+    Word FailedLock = 0;
+    if (!getLocksAndTBV(&FailedLock)) { // line 73
+      // Line 74: retry "after transactions within the same warp finish
+      // committing" -- wait for the contended lock to drop instead of
+      // hammering it (we hold no locks here, so this cannot deadlock).
+      Ctx.memWaitBitClear(Rt.lockWordAddr(FailedLock), 1);
+      continue; // Sorted order guarantees system-wide progress.
+    }
+    return validateAndWriteBack();
+  }
+}
+
+bool Tx::commitBackoff() {
+  // STM-HV-Backoff (Section 4.2): warps first try to acquire their locks
+  // in parallel; lanes that fail retry one at a time (serialized through a
+  // per-warp token) while the winners commit in parallel.  Across warps a
+  // deterministic, warp-dependent delay desynchronizes retries (per-thread
+  // exponential backoff is impossible under lockstep, per Section 3.1).
+  if (Rt.Config.PreLockValidation && Rt.Val == Validation::HV) {
+    Ctx.setPhase(Phase::Commit);
+    if (!vbv()) { // Same optional line-71 filter commitSorted applies.
+      ++Rt.Counters.AbortsCommitValidation;
+      return false;
+    }
+  }
+  Ctx.setPhase(Phase::Locking);
+  if (getLocksAndTBV())
+    return validateAndWriteBack();
+
+  Addr Token = Rt.TokenBase + Ctx.warpGlobalId();
+  unsigned Attempt = 0;
+  for (;;) {
+    ++Attempt;
+    uint32_t Delay = (16u << (Attempt > 6 ? 6 : Attempt)) +
+                     (Ctx.warpGlobalId() * 37u) % 64u;
+    Ctx.compute(Delay);
+    // Serialize the failed lanes of this warp.
+    while (Ctx.atomicCAS(Token, 0, Ctx.laneId() + 1) != 0)
+      Ctx.memWaitEquals(Token, 0);
+    Ctx.setPhase(Phase::Locking);
+    bool Locked = getLocksAndTBV();
+    bool Result = false;
+    if (Locked)
+      Result = validateAndWriteBack();
+    Ctx.setPhase(Phase::Locking);
+    Ctx.store(Token, 0);
+    if (Locked)
+      return Result;
+  }
+}
+
+bool Tx::norecPostValidate() {
+  ++Rt.Counters.VbvRuns;
+  for (;;) {
+    Word T = Ctx.load(Rt.SeqLockAddr);
+    if (T & 1) {
+      // A writer is mid-commit; wait for a stable snapshot.
+      Ctx.memWaitBitClear(Rt.SeqLockAddr, 1);
+      continue;
+    }
+    bool Match = true;
+    for (unsigned I = 0; I < Desc.ReadCount && Match; ++I) {
+      Addr A = Ctx.load(readAddrSlot(I));
+      Word Logged = Ctx.load(readValSlot(I));
+      if (Ctx.load(A) != Logged)
+        Match = false;
+    }
+    if (!Match)
+      return false;
+    Ctx.threadfence();
+    if (Ctx.load(Rt.SeqLockAddr) == T) {
+      Desc.Snapshot = T;
+      return true;
+    }
+  }
+}
+
+bool Tx::norecCommit() {
+  Ctx.setPhase(Phase::Locking);
+  // Acquire the single global sequence lock; every CAS failure means some
+  // transaction committed, so revalidate by value (NOrec).
+  while (Ctx.atomicCAS(Rt.SeqLockAddr, Desc.Snapshot, Desc.Snapshot + 1) !=
+         Desc.Snapshot) {
+    ++Rt.Counters.LockFailures;
+    Ctx.setPhase(Phase::Consistency);
+    if (!norecPostValidate()) {
+      ++Rt.Counters.AbortsCommitValidation;
+      return false;
+    }
+    Ctx.setPhase(Phase::Locking);
+  }
+  Ctx.setPhase(Phase::Commit);
+  for (unsigned I = 0; I < Desc.WriteCount; ++I) {
+    Addr A = Ctx.load(writeAddrSlot(I));
+    Word V = Ctx.load(writeValSlot(I));
+    Ctx.store(A, V);
+  }
+  Ctx.threadfence();
+  Ctx.setPhase(Phase::Locking);
+  Ctx.store(Rt.SeqLockAddr, Desc.Snapshot + 2);
+  Desc.LastCommitVersion = Desc.Snapshot + 2;
+  return true;
+}
+
+bool Tx::commit() {
+  if (Mode == ModeT::Direct)
+    return true;
+  assert(Desc.Valid && "committing an aborted transaction");
+  // Line 68: a read-only transaction linearizes at its last read.
+  if (Desc.WriteCount == 0) {
+    ++Rt.Counters.ReadOnlyCommits;
+    Ctx.setPhase(Phase::Native);
+    return true;
+  }
+  bool Ok;
+  if (Rt.Val == Validation::VBV)
+    Ok = norecCommit();
+  else if (Desc.TxLocking == CommitLocking::Sorted)
+    Ok = commitSorted();
+  else
+    Ok = commitBackoff();
+  Ctx.setPhase(Phase::Native);
+  return Ok;
+}

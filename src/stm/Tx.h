@@ -1,0 +1,109 @@
+//===- stm/Tx.h - Transaction handle (Algorithm 3) --------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tx is the device-side transaction handle implementing the paper's
+/// Algorithm 3 (TXBegin / TXRead / TXWrite / TXCommit, PostValidation,
+/// GetLocksAndTBV, VBV, ReleaseLocks, ReleaseAndUpdateLocks), dispatching
+/// on the runtime's validation (TBV / HV / VBV) and commit-locking (sorted
+/// / backoff) policies.  A Direct-mode Tx (used under CGL) bypasses all
+/// instrumentation.
+///
+/// Users read T.valid() after transactional reads: it is the paper's
+/// per-transaction opacity flag ("GPU-STM requires each transaction to
+/// maintain an opacity flag to support transaction aborts. Programmers can
+/// access the flag and take measure to abort a running transaction").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_STM_TX_H
+#define GPUSTM_STM_TX_H
+
+#include "simt/ThreadCtx.h"
+#include "stm/Runtime.h"
+
+namespace gpustm {
+namespace stm {
+
+/// One transaction attempt (see file comment).
+class Tx {
+public:
+  enum class ModeT : uint8_t { Instrumented, Direct };
+
+  Tx(StmRuntime &Rt, simt::ThreadCtx &Ctx, TxDesc &Desc, ModeT Mode)
+      : Rt(Rt), Ctx(Ctx), Desc(Desc), Mode(Mode) {}
+
+  /// TXBegin: reset descriptor state, snapshot the global clock.
+  void begin();
+
+  /// TXRead: write-set lookup, read, log, consistency check (Algorithm 3
+  /// lines 21-35).  After an inconsistency, valid() turns false and the
+  /// caller should return from the transaction body.
+  Word read(simt::Addr A);
+
+  /// TXWrite: buffer the speculative write (lines 36-38).
+  void write(simt::Addr A, Word V);
+
+  /// TXCommit (lines 67-85).  Returns true on commit.
+  bool commit();
+
+  /// The opacity flag: false once the transaction observed (or may have
+  /// observed) an inconsistent snapshot and must abort.
+  bool valid() const { return Desc.Valid; }
+
+  /// Programmatic abort: mark the transaction invalid so transaction()
+  /// retries it.
+  void abort() { Desc.Valid = false; }
+
+  /// True when running under the coarse-grained lock (no instrumentation).
+  bool direct() const { return Mode == ModeT::Direct; }
+
+private:
+  /// Algorithm 3 lines 6-20.
+  bool postValidation(Word Version);
+  /// Algorithm 3 lines 62-66: value-based validation of the read-set.
+  bool vbv();
+  /// Algorithm 3 lines 43-52.  On failure releases the prefix acquired and
+  /// reports the contended lock through \p FailedLock (when non-null).
+  bool getLocksAndTBV(Word *FailedLock = nullptr);
+  /// Algorithm 3 lines 53-55: release the first \p Count locks.
+  void releaseLocks(unsigned Count);
+  /// Algorithm 3 lines 56-61.
+  void releaseAndUpdateLocks(Word Version);
+
+  bool commitSorted();
+  bool commitBackoff();
+  /// Shared tail of commit: validate under locks, write back, bump clock.
+  /// Returns false (and releases all locks) on validation failure.
+  bool validateAndWriteBack();
+
+  /// NOrec-style (STM-VBV) paths.
+  bool norecPostValidate();
+  bool norecCommit();
+
+  simt::Addr readAddrSlot(unsigned I) const {
+    return Desc.ReadAddrs.slot(Desc.Lane, I);
+  }
+  simt::Addr readValSlot(unsigned I) const {
+    return Desc.ReadVals.slot(Desc.Lane, I);
+  }
+  simt::Addr writeAddrSlot(unsigned I) const {
+    return Desc.WriteAddrs.slot(Desc.Lane, I);
+  }
+  simt::Addr writeValSlot(unsigned I) const {
+    return Desc.WriteVals.slot(Desc.Lane, I);
+  }
+
+  StmRuntime &Rt;
+  simt::ThreadCtx &Ctx;
+  TxDesc &Desc;
+  ModeT Mode;
+};
+
+} // namespace stm
+} // namespace gpustm
+
+#endif // GPUSTM_STM_TX_H

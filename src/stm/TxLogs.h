@@ -1,0 +1,56 @@
+//===- stm/TxLogs.h - Coalesced read/write-set organization -----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The read-/write-sets of all transactions within each warp are merged in
+/// a way so that the transactions can access consecutive locations. ...
+/// entry i of a merged read-/write-set belongs to thread j if
+/// (i mod 32) = j" (Section 3.1, coalesced read-/write-set organization).
+///
+/// A LogView describes one merged per-warp array living in simulated global
+/// memory and maps (lane, entry index) to a word address.  In the coalesced
+/// layout, the lanes of a warp appending entry i all touch one 128-byte
+/// segment (one memory transaction); the per-thread layout (used by the
+/// coalescing ablation) spreads the same appends over 32 segments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_STM_TXLOGS_H
+#define GPUSTM_STM_TXLOGS_H
+
+#include "simt/Memory.h"
+
+#include <cassert>
+
+namespace gpustm {
+namespace stm {
+
+/// A per-warp merged log array of Cap entries per lane (see file comment).
+struct LogView {
+  simt::Addr Base = simt::InvalidAddr;
+  unsigned Cap = 0;
+  unsigned WarpSize = 0;
+  bool Coalesced = true;
+
+  /// Word address of entry \p I of lane \p Lane.
+  simt::Addr slot(unsigned Lane, unsigned I) const {
+    assert(I < Cap && "log entry out of capacity");
+    assert(Base != simt::InvalidAddr && "log view not configured");
+    if (Coalesced)
+      return Base + I * WarpSize + Lane;
+    return Base + Lane * Cap + I;
+  }
+
+  /// Words of simulated memory one warp's array occupies.
+  static size_t wordsRequired(unsigned Cap, unsigned WarpSize) {
+    return static_cast<size_t>(Cap) * WarpSize;
+  }
+};
+
+} // namespace stm
+} // namespace gpustm
+
+#endif // GPUSTM_STM_TXLOGS_H

@@ -1,0 +1,38 @@
+//===- stm/VersionLock.h - Versioned lock word encoding ---------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's global lock table is "an array of version locks, each of
+/// which is an unsigned integer with the least significant bit indicating
+/// whether a stripe of memory is locked, and the rest of the bits
+/// indicating the version of a memory stripe" (Section 3.2.1).  These
+/// helpers encode/decode that word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_STM_VERSIONLOCK_H
+#define GPUSTM_STM_VERSIONLOCK_H
+
+#include "simt/Memory.h"
+
+namespace gpustm {
+namespace stm {
+
+using simt::Word;
+
+/// True when the lock bit (LSB) is set.
+inline bool lockBit(Word VersionLock) { return (VersionLock & 1u) != 0; }
+
+/// The version half of a version-lock word.
+inline Word lockVersion(Word VersionLock) { return VersionLock >> 1; }
+
+/// Encode an unlocked version-lock word holding \p Version.
+inline Word makeVersionLock(Word Version) { return Version << 1; }
+
+} // namespace stm
+} // namespace gpustm
+
+#endif // GPUSTM_STM_VERSIONLOCK_H

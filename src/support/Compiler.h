@@ -1,0 +1,27 @@
+//===- support/Compiler.h - Compiler abstraction helpers -------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability helpers in the spirit of llvm/Support/Compiler.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_COMPILER_H
+#define GPUSTM_SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPUSTM_LIKELY(X) (__builtin_expect(static_cast<bool>(X), true))
+#define GPUSTM_UNLIKELY(X) (__builtin_expect(static_cast<bool>(X), false))
+#define GPUSTM_NOINLINE __attribute__((noinline))
+#define GPUSTM_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define GPUSTM_LIKELY(X) (X)
+#define GPUSTM_UNLIKELY(X) (X)
+#define GPUSTM_NOINLINE
+#define GPUSTM_ALWAYS_INLINE inline
+#endif
+
+#endif // GPUSTM_SUPPORT_COMPILER_H

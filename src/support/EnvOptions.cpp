@@ -1,0 +1,31 @@
+//===- support/EnvOptions.cpp - Environment-variable options --------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EnvOptions.h"
+
+#include <cstdlib>
+
+namespace gpustm {
+
+uint64_t envUnsigned(const char *Name, uint64_t Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Value, &End, 0);
+  if (End == Value)
+    return Default;
+  return Parsed;
+}
+
+std::string envString(const char *Name, const std::string &Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  return Value;
+}
+
+} // namespace gpustm

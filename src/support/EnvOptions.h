@@ -1,0 +1,31 @@
+//===- support/EnvOptions.h - Environment-variable options ------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmark binaries accept scale knobs through environment variables so
+/// that `for b in build/bench/*; do $b; done` works with no arguments while
+/// still allowing paper-scale runs (e.g. GPUSTM_SCALE=4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_ENVOPTIONS_H
+#define GPUSTM_SUPPORT_ENVOPTIONS_H
+
+#include <cstdint>
+#include <string>
+
+namespace gpustm {
+
+/// Read an unsigned integer from the environment, or \p Default when the
+/// variable is unset or unparsable.
+uint64_t envUnsigned(const char *Name, uint64_t Default);
+
+/// Read a string from the environment, or \p Default when unset.
+std::string envString(const char *Name, const std::string &Default);
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_ENVOPTIONS_H

@@ -1,0 +1,26 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpustm {
+
+void reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "gpustm fatal error: %s\n", Msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void unreachableInternal(const char *Msg, const char *File, unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace gpustm

@@ -1,0 +1,34 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting without exceptions.  Library code never throws; genuinely
+/// unrecoverable conditions (simulator invariant violations, configuration
+/// errors, watchdog trips) report a message and abort the process, mirroring
+/// llvm::report_fatal_error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_ERROR_H
+#define GPUSTM_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace gpustm {
+
+/// Print \p Msg to stderr and abort.  Never returns.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Marks unreachable code; aborts with \p Msg if ever executed.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace gpustm
+
+#define gpustm_unreachable(MSG)                                               \
+  ::gpustm::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // GPUSTM_SUPPORT_ERROR_H

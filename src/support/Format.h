@@ -1,0 +1,70 @@
+//===- support/Format.h - printf-style string formatting --------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny printf-style formatter returning std::string, plus fixed-width
+/// table-cell helpers used by the benchmark harnesses to print the paper's
+/// tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_FORMAT_H
+#define GPUSTM_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace gpustm {
+
+/// printf into a std::string.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Size > 0) {
+    Result.resize(static_cast<size_t>(Size));
+    std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+/// Left-pad \p Text with spaces up to \p Width columns.
+inline std::string padLeft(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+/// Right-pad \p Text with spaces up to \p Width columns.
+inline std::string padRight(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}
+
+/// Human-readable count: 1024 -> "1K", 2097152 -> "2M" (power-of-two units,
+/// matching the paper's "1M locks" notation).
+inline std::string formatCount(uint64_t Value) {
+  if (Value >= (1ULL << 20) && Value % (1ULL << 20) == 0)
+    return formatString("%lluM", static_cast<unsigned long long>(Value >> 20));
+  if (Value >= (1ULL << 10) && Value % (1ULL << 10) == 0)
+    return formatString("%lluK", static_cast<unsigned long long>(Value >> 10));
+  return formatString("%llu", static_cast<unsigned long long>(Value));
+}
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_FORMAT_H

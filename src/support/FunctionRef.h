@@ -1,0 +1,55 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An efficient, type-erased, non-owning reference to a callable, modeled on
+/// llvm::function_ref.  Used for device-code callbacks (simtIf / simtWhile
+/// bodies) where the callee never outlives the call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_FUNCTIONREF_H
+#define GPUSTM_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace gpustm {
+
+template <typename Fn> class function_ref;
+
+template <typename Ret, typename... Params> class function_ref<Ret(Params...)> {
+  Ret (*Callback)(intptr_t CalleeAddr, Params... Ps) = nullptr;
+  intptr_t CalleeAddr;
+
+  template <typename Callee>
+  static Ret callbackFn(intptr_t CalleePtr, Params... Ps) {
+    return (*reinterpret_cast<Callee *>(CalleePtr))(
+        std::forward<Params>(Ps)...);
+  }
+
+public:
+  function_ref() = default;
+  function_ref(std::nullptr_t) {}
+
+  template <typename Callable>
+  function_ref(Callable &&Fn,
+               std::enable_if_t<!std::is_same_v<
+                   std::remove_cvref_t<Callable>, function_ref>> * = nullptr)
+      : Callback(callbackFn<std::remove_reference_t<Callable>>),
+        CalleeAddr(reinterpret_cast<intptr_t>(&Fn)) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(CalleeAddr, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Callback; }
+};
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_FUNCTIONREF_H

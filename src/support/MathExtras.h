@@ -1,0 +1,52 @@
+//===- support/MathExtras.h - Bit-twiddling helpers -------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer math utilities used by the simulator and the STM runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_MATHEXTRAS_H
+#define GPUSTM_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gpustm {
+
+/// Returns true iff \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Returns floor(log2(Value)); \p Value must be nonzero.
+inline unsigned log2Floor(uint64_t Value) {
+  assert(Value != 0 && "log2Floor of zero");
+  return 63 - static_cast<unsigned>(__builtin_clzll(Value));
+}
+
+/// Returns the smallest power of two >= \p Value (Value must be nonzero and
+/// representable).
+inline uint64_t nextPowerOf2(uint64_t Value) {
+  assert(Value != 0 && "nextPowerOf2 of zero");
+  if (isPowerOf2(Value))
+    return Value;
+  return uint64_t(1) << (log2Floor(Value) + 1);
+}
+
+/// Divide and round up.
+constexpr uint64_t divideCeil(uint64_t Numerator, uint64_t Denominator) {
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+/// Align \p Value up to the next multiple of \p Align (Align a power of two).
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,80 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xorshift* seeded through splitmix64).
+/// Every workload and test derives its randomness from explicit seeds so
+/// that whole-simulation runs are reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_RANDOM_H
+#define GPUSTM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gpustm {
+
+/// splitmix64 step; used to derive well-mixed seeds from small integers.
+inline uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// xorshift64* generator.  Cheap enough to embed one per simulated thread.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x853c49e6748fea9bULL) { reseed(Seed); }
+
+  /// Reset the generator; a zero seed is remapped to a fixed constant since
+  /// xorshift has an all-zero fixed point.
+  void reseed(uint64_t Seed) {
+    uint64_t Mix = Seed;
+    State = splitMix64(Mix);
+    if (State == 0)
+      State = 0x9e3779b97f4a7c15ULL;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Multiply-shift bounded sampling; bias is negligible for our bounds.
+    return (static_cast<__uint128_t>(next()) * Bound) >> 64;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "bad range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_RANDOM_H

@@ -1,0 +1,64 @@
+//===- support/Stats.h - Named statistic counters ---------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight named-counter registry in the spirit of llvm::Statistic.
+/// The simulator and the STM runtime bump counters (commits, aborts, memory
+/// transactions, ...) into a StatsSet owned by the harness; tests and bench
+/// binaries read them back by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_STATS_H
+#define GPUSTM_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpustm {
+
+/// A bag of named 64-bit counters.  Not thread-safe; the simulator is
+/// single-threaded by design.
+class StatsSet {
+public:
+  /// Add \p Delta to counter \p Name (creating it at zero).
+  void add(const std::string &Name, uint64_t Delta) { Counters[Name] += Delta; }
+
+  /// Increment counter \p Name by one.
+  void inc(const std::string &Name) { add(Name, 1); }
+
+  /// Read counter \p Name; returns 0 when absent.
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Overwrite counter \p Name.
+  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+
+  /// Remove all counters.
+  void clear() { Counters.clear(); }
+
+  /// Merge all counters of \p Other into this set.
+  void merge(const StatsSet &Other) {
+    for (const auto &[Name, Value] : Other.Counters)
+      Counters[Name] += Value;
+  }
+
+  /// Stable (name-sorted) view of all counters.
+  std::vector<std::pair<std::string, uint64_t>> entries() const {
+    return {Counters.begin(), Counters.end()};
+  }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_STATS_H

@@ -1,0 +1,64 @@
+//===- workloads/All.cpp - Workload factory -------------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/All.h"
+#include "support/Error.h"
+#include "support/MathExtras.h"
+#include "workloads/EigenBench.h"
+#include "workloads/Genome.h"
+#include "workloads/HashTable.h"
+#include "workloads/KMeans.h"
+#include "workloads/Labyrinth.h"
+#include "workloads/RandomArray.h"
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+
+std::unique_ptr<Workload>
+gpustm::workloads::makeWorkload(const std::string &Name, unsigned Scale) {
+  if (Scale == 0)
+    Scale = 1;
+  if (Name == "RA") {
+    RandomArray::Params P;
+    // The paper's RA shares 8M words; scaled down by default, but the
+    // shared-data : lock-table ratio that drives HV vs TBV is preserved by
+    // the bench configs.
+    P.ArrayWords = (256u << 10) * Scale;
+    P.NumTx = 8192 * Scale;
+    return std::make_unique<RandomArray>(P);
+  }
+  if (Name == "HT") {
+    HashTable::Params P;
+    P.TableWords = (64u << 10) * nextPowerOf2(Scale);
+    P.NumTx = 8192 * Scale;
+    return std::make_unique<HashTable>(P);
+  }
+  if (Name == "EB") {
+    EigenBench::Params P;
+    P.HotWords = (256u << 10) * Scale;
+    P.NumTx = 8192 * Scale;
+    return std::make_unique<EigenBench>(P);
+  }
+  if (Name == "LB") {
+    Labyrinth::Params P;
+    P.GridN = 64 * Scale;
+    P.NumRoutes = 192 * Scale;
+    return std::make_unique<Labyrinth>(P);
+  }
+  if (Name == "GN") {
+    Genome::Params P;
+    P.GenomeLen = 8192 * Scale;
+    P.NumSegments = 12288 * Scale;
+    P.TableWords = (32u << 10) * nextPowerOf2(Scale);
+    return std::make_unique<Genome>(P);
+  }
+  if (Name == "KM") {
+    KMeans::Params P;
+    P.NumPoints = 8192 * Scale;
+    return std::make_unique<KMeans>(P);
+  }
+  reportFatalError("unknown workload: " + Name);
+}

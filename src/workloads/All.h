@@ -1,0 +1,40 @@
+//===- workloads/All.h - Workload factory -----------------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience factory producing the paper's six workloads with their
+/// default (scaled) evaluation parameters.  \p Scale stretches data sizes
+/// and transaction counts toward the paper's magnitudes (Scale=1 keeps
+/// bench binaries minutes-long on a small host; see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_ALL_H
+#define GPUSTM_WORKLOADS_ALL_H
+
+#include "workloads/Workload.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace workloads {
+
+/// Create workload \p Name ("RA", "HT", "EB", "LB", "GN", "KM") at the
+/// given scale; aborts on an unknown name.
+std::unique_ptr<Workload> makeWorkload(const std::string &Name,
+                                       unsigned Scale = 1);
+
+/// The five overall-performance workloads of Figure 2, in paper order.
+inline std::vector<std::string> figure2WorkloadNames() {
+  return {"RA", "HT", "GN", "LB", "KM"};
+}
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_ALL_H

@@ -1,0 +1,79 @@
+//===- workloads/EigenBench.cpp - EB micro-benchmark ----------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/EigenBench.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+void EigenBench::setup(simt::Device &Dev) {
+  if (P.ReadsPerTx > 24 || P.WritesPerTx > 24)
+    reportFatalError("EB supports at most 24 reads/writes per transaction");
+  HotBase = Dev.hostAlloc(P.HotWords);
+  Dev.hostFill(HotBase, P.HotWords, 0);
+  MildBase = Dev.hostAlloc(P.MildWordsPerThread * P.MaxThreads);
+}
+
+void EigenBench::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx,
+                         unsigned K, unsigned Task) {
+  (void)K;
+  Rng Rand(P.Seed * 0x9e3779b97f4a7c15ULL + Task);
+  Addr ReadSlots[24], WriteSlots[24];
+  for (unsigned I = 0; I < P.ReadsPerTx; ++I)
+    ReadSlots[I] = HotBase + static_cast<Addr>(Rand.nextBelow(P.HotWords));
+  for (unsigned I = 0; I < P.WritesPerTx; ++I)
+    WriteSlots[I] = HotBase + static_cast<Addr>(Rand.nextBelow(P.HotWords));
+
+  // Native (non-transactional) mild-array work between transactions.
+  Addr Mild =
+      MildBase + (Ctx.globalThreadId() % P.MaxThreads) * P.MildWordsPerThread;
+  for (unsigned I = 0; I < P.MildAccesses; ++I) {
+    Word V = Ctx.load(Mild + I % P.MildWordsPerThread);
+    Ctx.store(Mild + I % P.MildWordsPerThread, V + 1);
+  }
+
+  Stm.transaction(Ctx, [&](stm::Tx &T) {
+    for (unsigned I = 0; I < P.ReadsPerTx; ++I) {
+      (void)T.read(ReadSlots[I]);
+      if (!T.valid())
+        return;
+    }
+    for (unsigned I = 0; I < P.WritesPerTx; ++I) {
+      Word V = T.read(WriteSlots[I]);
+      if (!T.valid())
+        return;
+      T.write(WriteSlots[I], V + 1);
+    }
+  });
+}
+
+bool EigenBench::verify(const simt::Device &Dev, const stm::StmCounters &C,
+                        std::string &Err) const {
+  (void)C;
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < P.HotWords; ++I)
+    Sum += Dev.memory().load(HotBase + static_cast<Addr>(I));
+  uint64_t Expected = static_cast<uint64_t>(P.NumTx) * P.WritesPerTx;
+  if (Sum != Expected) {
+    Err = formatString("EB: hot sum %llu != expected %llu",
+                       static_cast<unsigned long long>(Sum),
+                       static_cast<unsigned long long>(Expected));
+    return false;
+  }
+  return true;
+}
+
+void EigenBench::tuneStm(stm::StmConfig &Config) const {
+  Config.ReadSetCap = P.ReadsPerTx + 2 * P.WritesPerTx + 4;
+  Config.WriteSetCap = P.WritesPerTx + 4;
+  Config.LockLogBuckets = 8;
+  Config.LockLogBucketCap = P.ReadsPerTx + P.WritesPerTx + 4;
+}

@@ -1,0 +1,70 @@
+//===- workloads/EigenBench.h - EB micro-benchmark --------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *EigenBench* (EB) port [Hong et al., IISWC'10]: a
+/// micro-benchmark with orthogonal, independently tunable TM
+/// characteristics.  "Due to its reconfigurability, this micro-benchmark
+/// allows us to compare the two validation techniques under different
+/// conditions (i.e., the amount of shared data, global version locks and
+/// concurrent threads)" -- it drives the paper's Figure 4 (HV vs TBV).
+///
+/// Each transaction performs R reads and W read-increment-writes over a
+/// *hot* shared array; between transactions each thread touches a private
+/// *mild* array (native work).  The conservation oracle matches RA's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_EIGENBENCH_H
+#define GPUSTM_WORKLOADS_EIGENBENCH_H
+
+#include "workloads/Workload.h"
+
+namespace gpustm {
+namespace workloads {
+
+/// EB: the reconfigurable TM characteristics micro-benchmark.
+class EigenBench : public Workload {
+public:
+  struct Params {
+    /// Hot (transactionally shared) array size in words.
+    size_t HotWords = 1u << 18;
+    unsigned NumTx = 1u << 13;
+    unsigned ReadsPerTx = 8;
+    unsigned WritesPerTx = 4;
+    /// Per-task native accesses to the thread-private mild array.
+    unsigned MildAccesses = 4;
+    size_t MildWordsPerThread = 64;
+    unsigned MaxThreads = 1u << 16; ///< Sizes the mild arena.
+    uint64_t Seed = 0xe16e4;
+  };
+
+  explicit EigenBench(const Params &P) : P(P) {}
+
+  const char *name() const override { return "EB"; }
+  size_t sharedDataWords() const override { return P.HotWords; }
+  size_t deviceMemoryWords() const override {
+    return P.HotWords + P.MildWordsPerThread * P.MaxThreads;
+  }
+  KernelSpec kernelSpec(unsigned) const override { return {P.NumTx, false, 0}; }
+
+  void setup(simt::Device &Dev) override;
+  void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+               unsigned Task) override;
+  bool verify(const simt::Device &Dev, const stm::StmCounters &C,
+              std::string &Err) const override;
+  void tuneStm(stm::StmConfig &Config) const override;
+
+private:
+  Params P;
+  simt::Addr HotBase = simt::InvalidAddr;
+  simt::Addr MildBase = simt::InvalidAddr;
+};
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_EIGENBENCH_H

@@ -1,0 +1,176 @@
+//===- workloads/Genome.cpp - GN (STAMP genome port) ----------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Genome.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+#include "support/Random.h"
+
+#include <set>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+void Genome::setup(simt::Device &Dev) {
+  if (!isPowerOf2(P.TableWords))
+    reportFatalError("GN table size must be a power of two");
+  TableBase = Dev.hostAlloc(P.TableWords);
+  PresentBase = Dev.hostAlloc(P.GenomeLen);
+  ClaimedBase = Dev.hostAlloc(P.GenomeLen);
+  LinkBase = Dev.hostAlloc(P.GenomeLen);
+  Dev.hostFill(TableBase, P.TableWords, 0);
+  Dev.hostFill(PresentBase, P.GenomeLen, 0);
+  Dev.hostFill(ClaimedBase, P.GenomeLen, 0);
+  Dev.hostFill(LinkBase, P.GenomeLen, 0);
+
+  Segments.clear();
+  Rng Rand(P.Seed);
+  for (unsigned I = 0; I < P.NumSegments; ++I)
+    Segments.push_back(static_cast<unsigned>(Rand.nextBelow(P.GenomeLen)));
+}
+
+void Genome::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+                     unsigned Task) {
+  Word Mask = static_cast<Word>(P.TableWords - 1);
+  if (K == 0) {
+    // Kernel 1: deduplicating insert of this segment's start position.
+    Word Key = static_cast<Word>(Segments[Task]) + 1; // nonzero
+    Stm.transaction(Ctx, [&](stm::Tx &T) {
+      Word Slot = hashKey(Key) & Mask;
+      for (;;) {
+        Word V = T.read(TableBase + Slot);
+        if (!T.valid())
+          return;
+        if (V == Key)
+          return; // Duplicate segment: nothing to do.
+        if (V == 0) {
+          T.write(TableBase + Slot, Key);
+          T.write(PresentBase + (Key - 1), 1);
+          return;
+        }
+        Slot = (Slot + 1) & Mask;
+      }
+    });
+    return;
+  }
+
+  // Kernel 2: claim the nearest present, unclaimed successor of position
+  // Task within the window.
+  unsigned Pos = Task;
+  Stm.transaction(Ctx, [&](stm::Tx &T) {
+    Word Here = T.read(PresentBase + Pos);
+    if (!T.valid())
+      return;
+    if (Here == 0)
+      return; // This position was never sampled.
+    for (unsigned D = 1; D <= P.Window && Pos + D < P.GenomeLen; ++D) {
+      unsigned Succ = Pos + D;
+      Word There = T.read(PresentBase + Succ);
+      if (!T.valid())
+        return;
+      if (There == 0)
+        continue;
+      Word Claimed = T.read(ClaimedBase + Succ);
+      if (!T.valid())
+        return;
+      if (Claimed != 0)
+        continue; // Another predecessor won this successor.
+      T.write(ClaimedBase + Succ, 1);
+      T.write(LinkBase + Pos, static_cast<Word>(Succ) + 1);
+      return;
+    }
+  });
+}
+
+bool Genome::verify(const simt::Device &Dev, const stm::StmCounters &C,
+                    std::string &Err) const {
+  (void)C;
+  const simt::Memory &Mem = Dev.memory();
+  std::set<unsigned> Distinct(Segments.begin(), Segments.end());
+
+  // Kernel 1: the table holds exactly the distinct keys, each findable.
+  uint64_t Occupied = 0;
+  Word Mask = static_cast<Word>(P.TableWords - 1);
+  for (size_t I = 0; I < P.TableWords; ++I)
+    if (Mem.load(TableBase + static_cast<Addr>(I)) != 0)
+      ++Occupied;
+  if (Occupied != Distinct.size()) {
+    Err = formatString("GN: %llu table entries for %zu distinct segments",
+                       static_cast<unsigned long long>(Occupied),
+                       Distinct.size());
+    return false;
+  }
+  for (unsigned Pos : Distinct) {
+    Word Key = static_cast<Word>(Pos) + 1;
+    Word Slot = hashKey(Key) & Mask;
+    bool Found = false;
+    for (size_t Probe = 0; Probe < P.TableWords; ++Probe) {
+      Word V = Mem.load(TableBase + Slot);
+      if (V == Key) {
+        Found = true;
+        break;
+      }
+      if (V == 0)
+        break;
+      Slot = (Slot + 1) & Mask;
+    }
+    if (!Found) {
+      Err = formatString("GN: segment %u missing from table", Pos);
+      return false;
+    }
+    if (Mem.load(PresentBase + Pos) != 1) {
+      Err = formatString("GN: present flag missing for %u", Pos);
+      return false;
+    }
+  }
+
+  // Kernel 2: links are well-formed and every claimed successor has
+  // exactly one incoming link.
+  std::vector<unsigned> Incoming(P.GenomeLen, 0);
+  for (unsigned Pos = 0; Pos < P.GenomeLen; ++Pos) {
+    Word L = Mem.load(LinkBase + Pos);
+    if (L == 0)
+      continue;
+    unsigned Succ = L - 1;
+    if (Succ <= Pos || Succ > Pos + P.Window || Succ >= P.GenomeLen) {
+      Err = formatString("GN: link %u -> %u outside window", Pos, Succ);
+      return false;
+    }
+    if (!Distinct.count(Pos) || !Distinct.count(Succ)) {
+      Err = formatString("GN: link %u -> %u between absent segments", Pos,
+                         Succ);
+      return false;
+    }
+    if (Mem.load(ClaimedBase + Succ) != 1) {
+      Err = formatString("GN: link target %u not marked claimed", Succ);
+      return false;
+    }
+    ++Incoming[Succ];
+  }
+  for (unsigned Pos = 0; Pos < P.GenomeLen; ++Pos) {
+    Word Claimed = Mem.load(ClaimedBase + Pos);
+    if (Claimed != 0 && Incoming[Pos] != 1) {
+      Err = formatString("GN: claimed %u has %u incoming links", Pos,
+                         Incoming[Pos]);
+      return false;
+    }
+    if (Claimed == 0 && Incoming[Pos] != 0) {
+      Err = formatString("GN: unclaimed %u has incoming links", Pos);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Genome::tuneStm(stm::StmConfig &Config) const {
+  Config.ReadSetCap = 48 + 2 * P.Window;
+  Config.WriteSetCap = 8;
+  Config.LockLogBuckets = 8;
+  Config.LockLogBucketCap = Config.ReadSetCap / 2;
+}

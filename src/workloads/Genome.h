@@ -1,0 +1,84 @@
+//===- workloads/Genome.h - GN (STAMP genome port) --------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *genome* (GN) STAMP port: gene sequencing with two
+/// transaction kernels (Table 2 launches them with different shapes).
+///
+///   Kernel 1 (segment deduplication): every sampled segment inserts its
+///   start position into a shared hash table; duplicate segments detect the
+///   existing entry and insert nothing.  Concurrent inserters of equal keys
+///   race for the same probe window -- exactly the conflict STAMP genome
+///   resolves transactionally.
+///
+///   Kernel 2 (overlap linking): every present position transactionally
+///   claims its nearest unclaimed successor within a window, building
+///   assembly links.  Multiple predecessors compete for one successor; the
+///   STM must let exactly one win.
+///
+/// Oracles: the table must contain exactly the distinct positions; each
+/// claimed successor must have exactly one incoming link, and links must
+/// respect the window and claim flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_GENOME_H
+#define GPUSTM_WORKLOADS_GENOME_H
+
+#include "workloads/Workload.h"
+
+#include <vector>
+
+namespace gpustm {
+namespace workloads {
+
+/// GN: two-kernel gene sequencing port (see file comment).
+class Genome : public Workload {
+public:
+  struct Params {
+    unsigned GenomeLen = 8192;
+    unsigned NumSegments = 12288; ///< Sampled with duplicates.
+    size_t TableWords = 1u << 15; ///< Power of two, >= 2x distinct keys.
+    unsigned Window = 4;          ///< Successor search window of kernel 2.
+    uint32_t NativeComputePerTask = 60;
+    uint64_t Seed = 0x6e0;
+  };
+
+  explicit Genome(const Params &P) : P(P) {}
+
+  const char *name() const override { return "GN"; }
+  size_t sharedDataWords() const override {
+    return P.TableWords + 3ull * P.GenomeLen;
+  }
+  unsigned numKernels() const override { return 2; }
+  KernelSpec kernelSpec(unsigned K) const override {
+    if (K == 0)
+      return {P.NumSegments, false, P.NativeComputePerTask};
+    return {P.GenomeLen, false, P.NativeComputePerTask / 2};
+  }
+
+  void setup(simt::Device &Dev) override;
+  void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+               unsigned Task) override;
+  bool verify(const simt::Device &Dev, const stm::StmCounters &C,
+              std::string &Err) const override;
+  void tuneStm(stm::StmConfig &Config) const override;
+
+  static uint32_t hashKey(simt::Word Key) { return Key * 2654435761u; }
+
+private:
+  Params P;
+  std::vector<unsigned> Segments; ///< Sampled start positions (with dups).
+  simt::Addr TableBase = simt::InvalidAddr;
+  simt::Addr PresentBase = simt::InvalidAddr;
+  simt::Addr ClaimedBase = simt::InvalidAddr;
+  simt::Addr LinkBase = simt::InvalidAddr; ///< 0 = none, else successor + 1.
+};
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_GENOME_H

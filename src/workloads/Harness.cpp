@@ -1,0 +1,145 @@
+//===- workloads/Harness.cpp - Evaluation harness -------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+#include "support/Error.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::LaunchConfig;
+using simt::LaunchResult;
+using simt::ThreadCtx;
+using stm::StmConfig;
+using stm::StmRuntime;
+using stm::Variant;
+
+double HarnessResult::txTimeProportion() const {
+  uint64_t Native = Sim.get("cycles.native");
+  uint64_t Tx = Sim.get("cycles.tx-init") + Sim.get("cycles.buffering") +
+                Sim.get("cycles.consistency") + Sim.get("cycles.locking") +
+                Sim.get("cycles.commit") + Sim.get("cycles.aborted");
+  uint64_t Total = Native + Tx;
+  return Total == 0 ? 0.0 : static_cast<double>(Tx) / Total;
+}
+
+/// Widest launch across kernels (the STM runtime sizes its per-thread and
+/// per-warp metadata for the largest one).
+static LaunchConfig maxLaunch(const std::vector<LaunchConfig> &Launches) {
+  LaunchConfig Max = Launches.front();
+  for (const LaunchConfig &L : Launches) {
+    Max.GridDim = std::max(Max.GridDim, L.GridDim);
+    Max.BlockDim = std::max(Max.BlockDim, L.BlockDim);
+  }
+  return Max;
+}
+
+HarnessResult gpustm::workloads::runWorkload(Workload &W,
+                                             const HarnessConfig &Config) {
+  std::vector<LaunchConfig> Given = Config.Launches;
+  if (Given.empty())
+    Given.push_back(LaunchConfig{64, 256});
+
+  // Resolve per-kernel launches.
+  std::vector<LaunchConfig> Launches;
+  for (unsigned K = 0; K < W.numKernels(); ++K)
+    Launches.push_back(K < Given.size() ? Given[K] : Given.back());
+  LaunchConfig Max = maxLaunch(Launches);
+
+  // STM configuration, tuned by the workload.
+  StmConfig SC;
+  SC.Kind = Config.Kind;
+  SC.NumLocks = Config.NumLocks;
+  SC.SharedDataWords = W.sharedDataWords();
+  SC.CoalescedLogs = Config.CoalescedLogs;
+  SC.DisableSorting = Config.DisableSorting;
+  if (Config.SchedulerCap != 0) {
+    SC.EnableScheduler = true;
+    SC.SchedulerAdaptive = Config.SchedulerCap == ~0u;
+    SC.SchedulerCap = SC.SchedulerAdaptive ? 0 : Config.SchedulerCap;
+  }
+  SC.AdaptiveLocking = Config.AdaptiveLocking;
+  W.tuneStm(SC);
+
+  // Size the device: shared data + STM metadata + slack.
+  simt::DeviceConfig DC = Config.DeviceCfg;
+  unsigned WarpSize = DC.WarpSize;
+  unsigned WarpsPerBlock =
+      static_cast<unsigned>(divideCeil(Max.BlockDim, WarpSize));
+  size_t NumWarps = static_cast<size_t>(Max.GridDim) * WarpsPerBlock;
+  size_t LogWords = NumWarps * WarpSize *
+                    (2ull * SC.ReadSetCap + 2ull * SC.WriteSetCap +
+                     1ull * SC.LockLogBuckets * SC.LockLogBucketCap);
+  DC.MemoryWords = W.deviceMemoryWords() + SC.NumLocks + LogWords + NumWarps +
+                   (1u << 16) /* slack */;
+
+  simt::Device Dev(DC);
+  W.setup(Dev);
+  StmRuntime Stm(Dev, SC, Max);
+
+  HarnessResult Result;
+  Result.Completed = true;
+  for (unsigned K = 0; K < W.numKernels(); ++K) {
+    Workload::KernelSpec Spec = W.kernelSpec(K);
+    LaunchConfig L = Launches[K];
+    bool BlockLevel =
+        Spec.TxThreadPerBlockOnly || Config.Kind == Variant::EGPGV;
+
+    LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+      if (BlockLevel) {
+        // One transactional thread per block (labyrinth's shape, and the
+        // only shape STM-EGPGV supports: per-thread-block transactions).
+        if (Ctx.threadIdxInBlock() != 0)
+          return;
+        for (unsigned T = Ctx.blockIdx(); T < Spec.NumTasks; T += L.GridDim) {
+          if (Spec.NativeComputePerTask)
+            Ctx.compute(Spec.NativeComputePerTask);
+          W.runTask(Stm, Ctx, K, T);
+        }
+        return;
+      }
+      unsigned Stride = L.totalThreads();
+      for (unsigned T = Ctx.globalThreadId(); T < Spec.NumTasks; T += Stride) {
+        if (Spec.NativeComputePerTask)
+          Ctx.compute(Spec.NativeComputePerTask);
+        W.runTask(Stm, Ctx, K, T);
+      }
+    });
+
+    Result.KernelCycles.push_back(R.ElapsedCycles);
+    Result.TotalCycles += R.ElapsedCycles;
+    Result.Sim.merge(R.Stats);
+    Result.KernelSim.push_back(R.Stats);
+    if (!R.Completed) {
+      Result.Completed = false;
+      Result.WatchdogTripped = R.WatchdogTripped;
+      Result.Error = R.WatchdogTripped ? "watchdog tripped (livelock)"
+                                       : "deadlock detected";
+      break;
+    }
+  }
+  Result.Stm = Stm.counters();
+
+  if (Result.Completed && Config.Verify) {
+    std::string Err;
+    Result.Verified = W.verify(Dev, Result.Stm, Err);
+    if (!Result.Verified)
+      Result.Error = Err;
+  }
+  return Result;
+}
+
+uint64_t gpustm::workloads::cglBaselineCycles(Workload &W,
+                                              const HarnessConfig &Config) {
+  HarnessConfig Cgl = Config;
+  Cgl.Kind = Variant::CGL;
+  HarnessResult R = runWorkload(W, Cgl);
+  if (!R.Completed || (Cgl.Verify && !R.Verified))
+    reportFatalError("CGL baseline failed: " + R.Error);
+  return R.TotalCycles;
+}

@@ -1,0 +1,91 @@
+//===- workloads/Harness.h - Evaluation harness -----------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a workload under one synchronization variant and launch
+/// configuration, collecting the measurements the paper's evaluation
+/// reports: modeled kernel cycles (for the speedup-over-CGL figures),
+/// commit/abort counters (for abort rates), per-phase cycle attribution
+/// (for the Figure 5 breakdown), and Table 1's transactional
+/// characteristics.  Every run is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_HARNESS_H
+#define GPUSTM_WORKLOADS_HARNESS_H
+
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace workloads {
+
+/// One harness invocation.
+struct HarnessConfig {
+  stm::Variant Kind = stm::Variant::HVSorting;
+  /// Launch configuration per kernel; the last entry repeats if the
+  /// workload has more kernels.  Empty means the default 64 x 256.
+  std::vector<simt::LaunchConfig> Launches;
+  /// Global version locks (the paper's default: 1M).
+  size_t NumLocks = 1u << 20;
+  /// Device shape overrides.
+  simt::DeviceConfig DeviceCfg;
+  /// Coalesced-log ablation knob.
+  bool CoalescedLogs = true;
+  /// Lock-sorting ablation knob (expect a watchdog trip when disabled on a
+  /// conflicting workload).
+  bool DisableSorting = false;
+  /// Verify the result image with the workload oracle (on by default; the
+  /// livelock ablation turns it off).
+  bool Verify = true;
+  /// Transaction scheduler (Section 4.2 future work): 0 = disabled,
+  /// ~0u = adaptive, otherwise a static concurrency cap.
+  unsigned SchedulerCap = 0;
+  /// Adaptive sorting/backoff selection (Section 4.2 future work).
+  bool AdaptiveLocking = false;
+};
+
+/// Harness measurements.
+struct HarnessResult {
+  bool Completed = false;
+  bool WatchdogTripped = false;
+  bool Verified = false;
+  std::string Error;
+  /// Modeled GPU cycles, total and per kernel.
+  uint64_t TotalCycles = 0;
+  std::vector<uint64_t> KernelCycles;
+  /// STM counters accumulated over all kernels.
+  stm::StmCounters Stm;
+  /// Simulator statistics merged over all kernels (phase cycles, memory
+  /// transactions, ...), plus the per-kernel sets (Figure 5 separates
+  /// GN-1 from GN-2).
+  StatsSet Sim;
+  std::vector<StatsSet> KernelSim;
+
+  /// Abort rate: aborts / (commits + aborts).
+  double abortRate() const {
+    uint64_t Total = Stm.Commits + Stm.Aborts;
+    return Total == 0 ? 0.0 : static_cast<double>(Stm.Aborts) / Total;
+  }
+  /// Proportion of modeled time spent inside transactions (Table 1's "TX
+  /// time"): every phase except native work.
+  double txTimeProportion() const;
+};
+
+/// Run \p W under \p Config.  Builds a fresh Device sized for the workload
+/// plus STM metadata, so runs are independent and deterministic.
+HarnessResult runWorkload(Workload &W, const HarnessConfig &Config);
+
+/// Cycles of the CGL baseline for the same workload/launch, used as the
+/// denominator of the paper's speedup figures.
+uint64_t cglBaselineCycles(Workload &W, const HarnessConfig &Config);
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_HARNESS_H

@@ -1,0 +1,107 @@
+//===- workloads/HashTable.cpp - HT micro-benchmark -----------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/HashTable.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+void HashTable::setup(simt::Device &Dev) {
+  if (!isPowerOf2(P.TableWords))
+    reportFatalError("HT table size must be a power of two");
+  uint64_t Keys = static_cast<uint64_t>(P.NumTx) * P.InsertsPerTx;
+  if (Keys * 2 > P.TableWords)
+    reportFatalError("HT load factor above 50%: raise TableWords");
+  TableBase = Dev.hostAlloc(P.TableWords);
+  Dev.hostFill(TableBase, P.TableWords, 0);
+}
+
+void HashTable::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+                        unsigned Task) {
+  (void)K;
+  Word Mask = static_cast<Word>(P.TableWords - 1);
+  Stm.transaction(Ctx, [&](stm::Tx &T) {
+    for (unsigned I = 0; I < P.InsertsPerTx; ++I) {
+      // Unique, nonzero keys.
+      Word Key = static_cast<Word>(Task) * P.InsertsPerTx + I + 1;
+      Word Slot = hashKey(Key) & Mask;
+      for (;;) {
+        Word V = T.read(TableBase + Slot);
+        if (!T.valid())
+          return;
+        if (V == 0) {
+          T.write(TableBase + Slot, Key);
+          break;
+        }
+        if (V == Key)
+          break; // Already inserted (cannot happen with unique keys).
+        Slot = (Slot + 1) & Mask;
+      }
+    }
+  });
+}
+
+bool HashTable::verify(const simt::Device &Dev, const stm::StmCounters &C,
+                       std::string &Err) const {
+  (void)C;
+  const simt::Memory &Mem = Dev.memory();
+  Word Mask = static_cast<Word>(P.TableWords - 1);
+  uint64_t Keys = static_cast<uint64_t>(P.NumTx) * P.InsertsPerTx;
+
+  // Every key must be reachable by probing.
+  for (uint64_t K = 1; K <= Keys; ++K) {
+    Word Key = static_cast<Word>(K);
+    Word Slot = hashKey(Key) & Mask;
+    bool Found = false;
+    for (size_t Probe = 0; Probe < P.TableWords; ++Probe) {
+      Word V = Mem.load(TableBase + Slot);
+      if (V == Key) {
+        Found = true;
+        break;
+      }
+      if (V == 0)
+        break;
+      Slot = (Slot + 1) & Mask;
+    }
+    if (!Found) {
+      Err = formatString("HT: key %u not found", Key);
+      return false;
+    }
+  }
+
+  // Exactly one slot per key (no duplicates, no garbage).
+  uint64_t Occupied = 0;
+  for (size_t I = 0; I < P.TableWords; ++I) {
+    Word V = Mem.load(TableBase + static_cast<Addr>(I));
+    if (V == 0)
+      continue;
+    ++Occupied;
+    if (V > Keys) {
+      Err = formatString("HT: slot %zu holds garbage %u", I, V);
+      return false;
+    }
+  }
+  if (Occupied != Keys) {
+    Err = formatString("HT: %llu occupied slots for %llu keys",
+                       static_cast<unsigned long long>(Occupied),
+                       static_cast<unsigned long long>(Keys));
+    return false;
+  }
+  return true;
+}
+
+void HashTable::tuneStm(stm::StmConfig &Config) const {
+  // Probes are short at <=50% load, but clustering can lengthen them.
+  Config.ReadSetCap = 32 + 8 * P.InsertsPerTx;
+  Config.WriteSetCap = P.InsertsPerTx + 4;
+  Config.LockLogBuckets = 8;
+  Config.LockLogBucketCap = Config.ReadSetCap / 2;
+}

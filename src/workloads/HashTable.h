@@ -1,0 +1,61 @@
+//===- workloads/HashTable.h - HT micro-benchmark ---------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *hashtable* (HT) micro-benchmark: "each transaction inserts
+/// multiple elements into a shared hash table."  The table is open
+/// addressing with linear probing over an array (the array-based structure
+/// GPU ports favor, per Section 4.1).  Keys are unique and nonzero, so the
+/// oracle can probe for every key and count occupied slots exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_HASHTABLE_H
+#define GPUSTM_WORKLOADS_HASHTABLE_H
+
+#include "workloads/Workload.h"
+
+namespace gpustm {
+namespace workloads {
+
+/// HT: transactional inserts into a shared open-addressing hash table.
+class HashTable : public Workload {
+public:
+  struct Params {
+    size_t TableWords = 1u << 16; ///< Power of two.
+    unsigned NumTx = 1u << 13;
+    unsigned InsertsPerTx = 2;
+    uint32_t NativeComputePerTask = 0;
+    uint64_t Seed = 0x8a5ed;
+  };
+
+  explicit HashTable(const Params &P) : P(P) {}
+
+  const char *name() const override { return "HT"; }
+  size_t sharedDataWords() const override { return P.TableWords; }
+  KernelSpec kernelSpec(unsigned) const override {
+    return {P.NumTx, false, P.NativeComputePerTask};
+  }
+
+  void setup(simt::Device &Dev) override;
+  void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+               unsigned Task) override;
+  bool verify(const simt::Device &Dev, const stm::StmCounters &C,
+              std::string &Err) const override;
+  void tuneStm(stm::StmConfig &Config) const override;
+
+  /// The probe start slot for \p Key (shared with the oracle).
+  static uint32_t hashKey(simt::Word Key) { return Key * 2654435761u; }
+
+private:
+  Params P;
+  simt::Addr TableBase = simt::InvalidAddr;
+};
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_HASHTABLE_H

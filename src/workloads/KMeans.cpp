@@ -1,0 +1,111 @@
+//===- workloads/KMeans.cpp - KM (STAMP kmeans port) ----------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KMeans.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+void KMeans::setup(simt::Device &Dev) {
+  Rng Rand(P.Seed);
+  Points.assign(static_cast<size_t>(P.NumPoints) * P.Dims, 0);
+  for (uint32_t &V : Points)
+    V = static_cast<uint32_t>(Rand.nextBelow(P.CoordRange));
+  Centroids.assign(static_cast<size_t>(P.K) * P.Dims, 0);
+  for (uint32_t &V : Centroids)
+    V = static_cast<uint32_t>(Rand.nextBelow(P.CoordRange));
+
+  CountBase = Dev.hostAlloc(P.K);
+  SumBase = Dev.hostAlloc(static_cast<size_t>(P.K) * P.Dims);
+  PointsBase = Dev.hostAlloc(Points.size());
+  Dev.hostFill(CountBase, P.K, 0);
+  Dev.hostFill(SumBase, static_cast<size_t>(P.K) * P.Dims, 0);
+  Dev.hostWrite(PointsBase, Points.data(), Points.size());
+}
+
+unsigned KMeans::assignmentOf(unsigned Task) const {
+  const uint32_t *Pt = &Points[static_cast<size_t>(Task) * P.Dims];
+  unsigned Best = 0;
+  uint64_t BestDist = ~uint64_t(0);
+  for (unsigned C = 0; C < P.K; ++C) {
+    const uint32_t *Ct = &Centroids[static_cast<size_t>(C) * P.Dims];
+    uint64_t Dist = 0;
+    for (unsigned D = 0; D < P.Dims; ++D) {
+      int64_t Delta = static_cast<int64_t>(Pt[D]) - Ct[D];
+      Dist += static_cast<uint64_t>(Delta * Delta);
+    }
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = C;
+    }
+  }
+  return Best;
+}
+
+void KMeans::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+                     unsigned Task) {
+  (void)K;
+  // Native phase: fetch the point (the distance loop's cycles are charged
+  // by the harness through KernelSpec::NativeComputePerTask).
+  for (unsigned D = 0; D < P.Dims; ++D)
+    (void)Ctx.load(PointsBase + Task * P.Dims + D);
+  unsigned C = assignmentOf(Task);
+  const uint32_t *Pt = &Points[static_cast<size_t>(Task) * P.Dims];
+
+  Stm.transaction(Ctx, [&](stm::Tx &T) {
+    Word Count = T.read(CountBase + C);
+    if (!T.valid())
+      return;
+    T.write(CountBase + C, Count + 1);
+    for (unsigned D = 0; D < P.Dims; ++D) {
+      Word S = T.read(SumBase + C * P.Dims + D);
+      if (!T.valid())
+        return;
+      T.write(SumBase + C * P.Dims + D, S + Pt[D]);
+    }
+  });
+}
+
+bool KMeans::verify(const simt::Device &Dev, const stm::StmCounters &C,
+                    std::string &Err) const {
+  (void)C;
+  std::vector<uint64_t> WantCount(P.K, 0);
+  std::vector<uint64_t> WantSum(static_cast<size_t>(P.K) * P.Dims, 0);
+  for (unsigned T = 0; T < P.NumPoints; ++T) {
+    unsigned A = assignmentOf(T);
+    ++WantCount[A];
+    for (unsigned D = 0; D < P.Dims; ++D)
+      WantSum[A * P.Dims + D] += Points[static_cast<size_t>(T) * P.Dims + D];
+  }
+  const simt::Memory &Mem = Dev.memory();
+  for (unsigned K = 0; K < P.K; ++K) {
+    if (Mem.load(CountBase + K) != (WantCount[K] & 0xffffffffu)) {
+      Err = formatString("KM: cluster %u count %u != %llu", K,
+                         Mem.load(CountBase + K),
+                         static_cast<unsigned long long>(WantCount[K]));
+      return false;
+    }
+    for (unsigned D = 0; D < P.Dims; ++D) {
+      Word Got = Mem.load(SumBase + K * P.Dims + D);
+      if (Got != (WantSum[K * P.Dims + D] & 0xffffffffu)) {
+        Err = formatString("KM: cluster %u dim %u sum mismatch", K, D);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void KMeans::tuneStm(stm::StmConfig &Config) const {
+  Config.ReadSetCap = 2 * (P.Dims + 1) + 4;
+  Config.WriteSetCap = P.Dims + 3;
+  Config.LockLogBuckets = 4;
+  Config.LockLogBucketCap = 2 * (P.Dims + 1) + 4;
+}

@@ -1,0 +1,80 @@
+//===- workloads/KMeans.h - KM (STAMP kmeans port) --------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *k-means* (KM) STAMP port: one clustering iteration.  Each
+/// task assigns one point to its nearest centroid (native distance
+/// computation over fixed centroids) and then transactionally accumulates
+/// the point into the winning cluster's count and coordinate sums.  The
+/// shared data is tiny -- K * (Dims + 1) words -- so a large thread count
+/// contends heavily and the abort rate is high; the paper observes KM
+/// "does not benefit from STM parallelization due to high conflict rate".
+///
+/// The assignment is a pure function of the inputs, so the oracle recomputes
+/// counts and sums sequentially and compares exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_KMEANS_H
+#define GPUSTM_WORKLOADS_KMEANS_H
+
+#include "workloads/Workload.h"
+
+#include <vector>
+
+namespace gpustm {
+namespace workloads {
+
+/// KM: one transactional k-means accumulation pass (see file comment).
+class KMeans : public Workload {
+public:
+  struct Params {
+    unsigned NumPoints = 8192;
+    unsigned K = 16;
+    unsigned Dims = 4;
+    unsigned CoordRange = 1024; ///< Coordinates in [0, CoordRange).
+    uint32_t DistanceCyclesPerCentroid = 12;
+    uint64_t Seed = 0x4a3a;
+  };
+
+  explicit KMeans(const Params &P) : P(P) {}
+
+  const char *name() const override { return "KM"; }
+  size_t sharedDataWords() const override {
+    return static_cast<size_t>(P.K) * (P.Dims + 1);
+  }
+  size_t deviceMemoryWords() const override {
+    return sharedDataWords() +
+           static_cast<size_t>(P.NumPoints) * P.Dims + // points
+           static_cast<size_t>(P.K) * P.Dims;          // centroids
+  }
+  KernelSpec kernelSpec(unsigned) const override {
+    return {P.NumPoints, false, P.DistanceCyclesPerCentroid * P.K};
+  }
+
+  void setup(simt::Device &Dev) override;
+  void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+               unsigned Task) override;
+  bool verify(const simt::Device &Dev, const stm::StmCounters &C,
+              std::string &Err) const override;
+  void tuneStm(stm::StmConfig &Config) const override;
+
+private:
+  /// Nearest centroid of point \p Task (pure function; shared with oracle).
+  unsigned assignmentOf(unsigned Task) const;
+
+  Params P;
+  std::vector<uint32_t> Points;    ///< NumPoints x Dims.
+  std::vector<uint32_t> Centroids; ///< K x Dims.
+  simt::Addr PointsBase = simt::InvalidAddr;
+  simt::Addr CountBase = simt::InvalidAddr; ///< K counts.
+  simt::Addr SumBase = simt::InvalidAddr;   ///< K x Dims coordinate sums.
+};
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_KMEANS_H

@@ -1,0 +1,145 @@
+//===- workloads/Labyrinth.cpp - LB (STAMP labyrinth port) ----------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Labyrinth.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <algorithm>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+std::vector<unsigned> Labyrinth::pathCells(const Net &N, bool XFirst) const {
+  std::vector<unsigned> Cells;
+  unsigned X = N.Sx, Y = N.Sy;
+  auto Push = [&] { Cells.push_back(Y * P.GridN + X); };
+  Push();
+  if (XFirst) {
+    while (X != N.Dx) {
+      X += X < N.Dx ? 1 : -1;
+      Push();
+    }
+    while (Y != N.Dy) {
+      Y += Y < N.Dy ? 1 : -1;
+      Push();
+    }
+  } else {
+    while (Y != N.Dy) {
+      Y += Y < N.Dy ? 1 : -1;
+      Push();
+    }
+    while (X != N.Dx) {
+      X += X < N.Dx ? 1 : -1;
+      Push();
+    }
+  }
+  return Cells;
+}
+
+void Labyrinth::setup(simt::Device &Dev) {
+  CellsBase = Dev.hostAlloc(sharedDataWords());
+  Dev.hostFill(CellsBase, sharedDataWords(), 0);
+  StatusBase = Dev.hostAlloc(P.NumRoutes);
+  Dev.hostFill(StatusBase, P.NumRoutes, 0);
+
+  Nets.clear();
+  Rng Rand(P.Seed);
+  for (unsigned R = 0; R < P.NumRoutes; ++R) {
+    Net N;
+    N.Sx = static_cast<unsigned>(Rand.nextBelow(P.GridN));
+    N.Sy = static_cast<unsigned>(Rand.nextBelow(P.GridN));
+    N.Dx = static_cast<unsigned>(Rand.nextBelow(P.GridN));
+    N.Dy = static_cast<unsigned>(Rand.nextBelow(P.GridN));
+    Nets.push_back(N);
+  }
+}
+
+void Labyrinth::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+                        unsigned Task) {
+  (void)K;
+  const Net &N = Nets[Task];
+  Word NetId = static_cast<Word>(Task) + 1;
+
+  for (int Bend = 0; Bend < 2; ++Bend) {
+    bool XFirst = Bend == 0;
+    std::vector<unsigned> Cells = pathCells(N, XFirst);
+    // Claim order does not matter semantically; visiting cells in
+    // ascending address order turns lock-log insertion into appends.
+    std::sort(Cells.begin(), Cells.end());
+    bool Claimed = false;
+    Stm.transaction(Ctx, [&](stm::Tx &T) {
+      Claimed = false;
+      // Read phase: the whole path must be free.
+      for (unsigned Cell : Cells) {
+        Word V = T.read(CellsBase + Cell);
+        if (!T.valid())
+          return;
+        if (V != 0)
+          return; // Blocked: commit read-only, try the other bend.
+      }
+      // Claim phase.
+      for (unsigned Cell : Cells)
+        T.write(CellsBase + Cell, NetId);
+      T.write(StatusBase + Task, XFirst ? 1 : 2);
+      Claimed = true;
+    });
+    if (Claimed)
+      return;
+  }
+}
+
+bool Labyrinth::verify(const simt::Device &Dev, const stm::StmCounters &C,
+                       std::string &Err) const {
+  (void)C;
+  const simt::Memory &Mem = Dev.memory();
+  std::vector<Word> Owner(sharedDataWords(), 0);
+  unsigned Routed = 0;
+  for (unsigned R = 0; R < P.NumRoutes; ++R) {
+    Word Status = Mem.load(StatusBase + R);
+    if (Status == 0)
+      continue;
+    if (Status > 2) {
+      Err = formatString("LB: net %u has invalid status %u", R, Status);
+      return false;
+    }
+    ++Routed;
+    std::vector<unsigned> Cells = pathCells(Nets[R], Status == 1);
+    for (unsigned Cell : Cells) {
+      Word V = Mem.load(CellsBase + Cell);
+      if (V != R + 1) {
+        Err = formatString("LB: net %u cell %u holds %u", R, Cell, V);
+        return false;
+      }
+      Owner[Cell] = R + 1;
+    }
+  }
+  // No stray claims: every nonzero cell belongs to a successful net's path.
+  for (size_t I = 0; I < Owner.size(); ++I) {
+    Word V = Mem.load(CellsBase + static_cast<Addr>(I));
+    if (V != 0 && Owner[I] != V) {
+      Err = formatString("LB: cell %zu claimed by %u outside its path", I, V);
+      return false;
+    }
+  }
+  if (Routed == 0) {
+    Err = "LB: no net routed at all";
+    return false;
+  }
+  return true;
+}
+
+void Labyrinth::tuneStm(stm::StmConfig &Config) const {
+  // Paths are contiguous address runs, so most of a path maps into one
+  // order-preserving bucket: capacity must cover a whole path.
+  unsigned MaxPath = 2 * P.GridN + 2;
+  Config.ReadSetCap = MaxPath;
+  Config.WriteSetCap = MaxPath;
+  Config.LockLogBuckets = 4;
+  Config.LockLogBucketCap = MaxPath;
+}

@@ -1,0 +1,75 @@
+//===- workloads/RandomArray.cpp - RA micro-benchmark ---------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomArray.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+
+void RandomArray::setup(simt::Device &Dev) {
+  if (P.ReadsPerTx > 16 || P.WritesPerTx > 16)
+    reportFatalError("RA supports at most 16 reads/writes per transaction");
+  ArrayBase = Dev.hostAlloc(P.ArrayWords);
+  Dev.hostFill(ArrayBase, P.ArrayWords, 0);
+}
+
+void RandomArray::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx,
+                          unsigned K, unsigned Task) {
+  (void)K;
+  // Addresses are a pure function of (seed, task) so that every variant and
+  // every retry sees the same access pattern.
+  Rng Rand(P.Seed * 0x9e3779b97f4a7c15ULL + Task);
+  Addr ReadSlots[16], WriteSlots[16];
+  for (unsigned I = 0; I < P.ReadsPerTx; ++I)
+    ReadSlots[I] = ArrayBase + static_cast<Addr>(Rand.nextBelow(P.ArrayWords));
+  for (unsigned I = 0; I < P.WritesPerTx; ++I)
+    WriteSlots[I] = ArrayBase + static_cast<Addr>(Rand.nextBelow(P.ArrayWords));
+
+  Stm.transaction(Ctx, [&](stm::Tx &T) {
+    Word Acc = 0;
+    for (unsigned I = 0; I < P.ReadsPerTx; ++I) {
+      Acc += T.read(ReadSlots[I]);
+      if (!T.valid())
+        return;
+    }
+    (void)Acc;
+    for (unsigned I = 0; I < P.WritesPerTx; ++I) {
+      Word V = T.read(WriteSlots[I]);
+      if (!T.valid())
+        return;
+      T.write(WriteSlots[I], V + 1);
+    }
+  });
+}
+
+bool RandomArray::verify(const simt::Device &Dev, const stm::StmCounters &C,
+                         std::string &Err) const {
+  (void)C;
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < P.ArrayWords; ++I)
+    Sum += Dev.memory().load(ArrayBase + static_cast<Addr>(I));
+  uint64_t Expected = static_cast<uint64_t>(P.NumTx) * P.WritesPerTx;
+  if (Sum != Expected) {
+    Err = formatString("RA: array sum %llu != expected %llu",
+                       static_cast<unsigned long long>(Sum),
+                       static_cast<unsigned long long>(Expected));
+    return false;
+  }
+  return true;
+}
+
+void RandomArray::tuneStm(stm::StmConfig &Config) const {
+  Config.ReadSetCap = P.ReadsPerTx + 2 * P.WritesPerTx + 4;
+  Config.WriteSetCap = P.WritesPerTx + 4;
+  Config.LockLogBuckets = 8;
+  Config.LockLogBucketCap =
+      static_cast<unsigned>(P.ReadsPerTx + P.WritesPerTx + 4);
+}

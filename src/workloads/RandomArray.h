@@ -1,0 +1,59 @@
+//===- workloads/RandomArray.h - RA micro-benchmark -------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *random array* (RA) micro-benchmark (Section 4.1; also the
+/// code example of Figure 1): "each transaction randomly accesses multiple
+/// locations of a shared array."  Reads sample random slots; writes are
+/// read-increment-write of random slots, giving an exact conservation
+/// oracle: after the run, sum(array) == NumTx * WritesPerTx.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_RANDOMARRAY_H
+#define GPUSTM_WORKLOADS_RANDOMARRAY_H
+
+#include "workloads/Workload.h"
+
+namespace gpustm {
+namespace workloads {
+
+/// RA: random accesses to one big shared array.
+class RandomArray : public Workload {
+public:
+  struct Params {
+    size_t ArrayWords = 1u << 18;
+    unsigned NumTx = 1u << 13;
+    unsigned ReadsPerTx = 4;
+    unsigned WritesPerTx = 4;
+    uint32_t NativeComputePerTask = 0;
+    uint64_t Seed = 0x5eed;
+  };
+
+  explicit RandomArray(const Params &P) : P(P) {}
+
+  const char *name() const override { return "RA"; }
+  size_t sharedDataWords() const override { return P.ArrayWords; }
+  KernelSpec kernelSpec(unsigned) const override {
+    return {P.NumTx, false, P.NativeComputePerTask};
+  }
+
+  void setup(simt::Device &Dev) override;
+  void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+               unsigned Task) override;
+  bool verify(const simt::Device &Dev, const stm::StmCounters &C,
+              std::string &Err) const override;
+  void tuneStm(stm::StmConfig &Config) const override;
+
+private:
+  Params P;
+  simt::Addr ArrayBase = simt::InvalidAddr;
+};
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_RANDOMARRAY_H

@@ -1,0 +1,87 @@
+//===- workloads/Workload.h - Transactional workload interface --*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload interface used by the evaluation harness.  The paper's
+/// evaluation (Section 4.1) uses three micro-benchmarks -- random array
+/// (RA), hashtable (HT), EigenBench (EB) -- and three STAMP ports --
+/// labyrinth (LB), genome (GN, two kernels), k-means (KM).  Each workload
+/// describes its kernels as a set of transactional *tasks*; the harness
+/// maps tasks onto simulated threads (or onto one thread per block for
+/// STM-EGPGV, which only supports per-thread-block transactions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_WORKLOAD_H
+#define GPUSTM_WORKLOADS_WORKLOAD_H
+
+#include "simt/Device.h"
+#include "stm/Runtime.h"
+#include "stm/Tx.h"
+
+#include <string>
+
+namespace gpustm {
+namespace workloads {
+
+/// A transactional workload (see file comment).
+class Workload {
+public:
+  /// Static description of one transaction kernel.
+  struct KernelSpec {
+    /// Total transactional tasks this kernel executes.
+    unsigned NumTasks = 0;
+    /// True when only one thread per block runs transactional code (the
+    /// paper's labyrinth has this shape); the other threads model native
+    /// assist work and exit.
+    bool TxThreadPerBlockOnly = false;
+    /// Native (non-transactional) compute cycles preceding each task;
+    /// determines the "TX time" proportion of Table 1.
+    uint32_t NativeComputePerTask = 0;
+  };
+
+  virtual ~Workload() = default;
+
+  /// Short name ("RA", "HT", ...).
+  virtual const char *name() const = 0;
+
+  /// Words of data shared among transactions (Table 1's "shared data";
+  /// also drives STM-Optimized's HV/TBV selection).
+  virtual size_t sharedDataWords() const = 0;
+
+  /// Total device words setup() will allocate (shared data plus any
+  /// auxiliary arrays); the harness sizes the device memory with this.
+  virtual size_t deviceMemoryWords() const { return sharedDataWords(); }
+
+  /// Number of transaction kernels (genome has two).
+  virtual unsigned numKernels() const { return 1; }
+
+  /// Description of kernel \p K.
+  virtual KernelSpec kernelSpec(unsigned K) const = 0;
+
+  /// Allocate and initialize device arrays.  Called once before launch.
+  virtual void setup(simt::Device &Dev) = 0;
+
+  /// Execute task \p Task of kernel \p K on the calling thread, using
+  /// Stm.transaction for every atomic region.
+  virtual void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+                       unsigned Task) = 0;
+
+  /// Check the final memory image; returns false and fills \p Err on
+  /// corruption.  \p C carries the STM counters of the run (some oracles
+  /// cross-check committed-work accounting).
+  virtual bool verify(const simt::Device &Dev, const stm::StmCounters &C,
+                      std::string &Err) const = 0;
+
+  /// Adjust STM capacities (read/write-set, lock-log shape) to fit this
+  /// workload's transaction footprint.
+  virtual void tuneStm(stm::StmConfig &Config) const { (void)Config; }
+};
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,118 @@
+//===- tests/simt/FiberTest.cpp - Fiber machinery tests -------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/Fiber.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpustm::simt;
+
+namespace {
+
+struct CounterArg {
+  int Value = 0;
+  int YieldsWanted = 0;
+};
+
+void countingBody(void *ArgPtr) {
+  auto *Arg = static_cast<CounterArg *>(ArgPtr);
+  for (int I = 0; I < Arg->YieldsWanted; ++I) {
+    ++Arg->Value;
+    Fiber::yieldToHost();
+  }
+  ++Arg->Value;
+}
+
+TEST(FiberTest, RunsToCompletionWithoutYield) {
+  StackPool Pool(16 * 1024);
+  CounterArg Arg{0, 0};
+  Fiber F;
+  F.init(Pool.acquire(), countingBody, &Arg);
+  EXPECT_FALSE(F.isFinished());
+  F.resume();
+  EXPECT_TRUE(F.isFinished());
+  EXPECT_EQ(Arg.Value, 1);
+  Pool.release(F.takeStack());
+}
+
+TEST(FiberTest, YieldsAndResumes) {
+  StackPool Pool(16 * 1024);
+  CounterArg Arg{0, 3};
+  Fiber F;
+  F.init(Pool.acquire(), countingBody, &Arg);
+  F.resume();
+  EXPECT_EQ(Arg.Value, 1);
+  EXPECT_FALSE(F.isFinished());
+  F.resume();
+  EXPECT_EQ(Arg.Value, 2);
+  F.resume();
+  EXPECT_EQ(Arg.Value, 3);
+  F.resume(); // Body's final increment; fiber finishes.
+  EXPECT_EQ(Arg.Value, 4);
+  EXPECT_TRUE(F.isFinished());
+  Pool.release(F.takeStack());
+}
+
+TEST(FiberTest, ManyInterleavedFibers) {
+  StackPool Pool(16 * 1024);
+  constexpr int NumFibers = 64;
+  CounterArg Args[NumFibers];
+  Fiber Fibers[NumFibers];
+  for (int I = 0; I < NumFibers; ++I) {
+    Args[I] = CounterArg{0, 5};
+    Fibers[I].init(Pool.acquire(), countingBody, &Args[I]);
+  }
+  bool AnyLive = true;
+  while (AnyLive) {
+    AnyLive = false;
+    for (int I = 0; I < NumFibers; ++I) {
+      if (Fibers[I].isFinished())
+        continue;
+      Fibers[I].resume();
+      AnyLive = true;
+    }
+  }
+  for (int I = 0; I < NumFibers; ++I) {
+    EXPECT_EQ(Args[I].Value, 6);
+    Pool.release(Fibers[I].takeStack());
+  }
+}
+
+TEST(FiberTest, StackPoolRecyclesStacks) {
+  StackPool Pool(16 * 1024);
+  FiberStack S1 = Pool.acquire();
+  void *Base = S1.base();
+  Pool.release(S1);
+  FiberStack S2 = Pool.acquire();
+  EXPECT_EQ(S2.base(), Base);
+  EXPECT_EQ(Pool.totalAllocated(), 1u);
+  Pool.release(S2);
+}
+
+TEST(FiberTest, CurrentIsNullOnHost) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+void deepStackBody(void *ArgPtr) {
+  // Touch a few KB of stack to validate usable stack space.
+  volatile char Buffer[8000];
+  for (size_t I = 0; I < sizeof(Buffer); I += 512)
+    Buffer[I] = 2;
+  *static_cast<int *>(ArgPtr) = Buffer[512];
+}
+
+TEST(FiberTest, UsableStackDepth) {
+  StackPool Pool(32 * 1024);
+  int Out = 0;
+  Fiber F;
+  F.init(Pool.acquire(), deepStackBody, &Out);
+  F.resume();
+  EXPECT_TRUE(F.isFinished());
+  EXPECT_EQ(Out, 2);
+  Pool.release(F.takeStack());
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/simt/TraceTest.cpp - Operation trace hook tests --------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/Device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace gpustm;
+using namespace gpustm::simt;
+
+namespace {
+
+DeviceConfig smallConfig() {
+  DeviceConfig C;
+  C.MemoryWords = 1u << 16;
+  C.NumSMs = 1;
+  return C;
+}
+
+TEST(TraceTest, CapturesEveryLaneOperationInIssueOrder) {
+  Device Dev(smallConfig());
+  Addr Data = Dev.hostAlloc(256);
+  std::vector<TraceEvent> Events;
+  Dev.setTraceHook([&](const TraceEvent &E) { Events.push_back(E); });
+  LaunchConfig L{1, 4};
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Ctx.store(Data + Ctx.laneId(), 1);
+    Ctx.threadfence();
+    Word V = Ctx.load(Data + Ctx.laneId());
+    Ctx.compute(V);
+  });
+  ASSERT_TRUE(R.Completed);
+
+  // 4 lanes x (store, fence, load, compute) + 4 finish markers.
+  unsigned Stores = 0, Fences = 0, Loads = 0, Computes = 0, Finishes = 0;
+  uint64_t LastCycle = 0;
+  for (const TraceEvent &E : Events) {
+    EXPECT_GE(E.IssueCycle, LastCycle) << "trace out of issue order";
+    LastCycle = E.IssueCycle;
+    switch (E.Kind) {
+    case OpKind::Store:
+      ++Stores;
+      EXPECT_EQ(E.Address, Data + E.LaneIdx);
+      break;
+    case OpKind::Fence:
+      ++Fences;
+      break;
+    case OpKind::Load:
+      ++Loads;
+      break;
+    case OpKind::Compute:
+      ++Computes;
+      break;
+    case OpKind::None:
+      ++Finishes;
+      break;
+    default:
+      ADD_FAILURE() << "unexpected op kind";
+    }
+  }
+  EXPECT_EQ(Stores, 4u);
+  EXPECT_EQ(Fences, 4u);
+  EXPECT_EQ(Loads, 4u);
+  EXPECT_EQ(Computes, 4u);
+  EXPECT_EQ(Finishes, 4u);
+}
+
+TEST(TraceTest, HookCanBeCleared) {
+  Device Dev(smallConfig());
+  Addr Data = Dev.hostAlloc(16);
+  unsigned Count = 0;
+  Dev.setTraceHook([&](const TraceEvent &) { ++Count; });
+  LaunchConfig L{1, 1};
+  (void)Dev.launch(L, [&](ThreadCtx &Ctx) { Ctx.store(Data, 1); });
+  unsigned AfterFirst = Count;
+  EXPECT_GT(AfterFirst, 0u);
+  Dev.setTraceHook(nullptr);
+  (void)Dev.launch(L, [&](ThreadCtx &Ctx) { Ctx.store(Data, 2); });
+  EXPECT_EQ(Count, AfterFirst);
+}
+
+TEST(TraceTest, TracingDoesNotPerturbTiming) {
+  auto Run = [&](bool Traced) {
+    Device Dev(smallConfig());
+    Addr Data = Dev.hostAlloc(4096);
+    if (Traced)
+      Dev.setTraceHook([](const TraceEvent &) {});
+    LaunchConfig L{2, 64};
+    LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+      for (int I = 0; I < 8; ++I)
+        Ctx.store(Data + (Ctx.globalThreadId() * 31 + I) % 4096, I);
+    });
+    return R.ElapsedCycles;
+  };
+  EXPECT_EQ(Run(false), Run(true));
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- tests/stm/MetadataTest.cpp - STM metadata unit tests ---------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Unit and property tests for the metadata building blocks: version locks,
+// bloom filter, coalesced log views, and the order-preserving lock-log.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/Device.h"
+#include "stm/Bloom.h"
+#include "stm/LockLog.h"
+#include "stm/TxLogs.h"
+#include "stm/VersionLock.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace gpustm;
+using namespace gpustm::stm;
+using simt::Addr;
+using simt::Device;
+using simt::DeviceConfig;
+using simt::LaunchConfig;
+using simt::ThreadCtx;
+using simt::Word;
+
+namespace {
+
+TEST(VersionLockTest, EncodingRoundTrips) {
+  for (Word V : {0u, 1u, 5u, 1000000u, (1u << 30) - 1}) {
+    Word Unlocked = makeVersionLock(V);
+    EXPECT_FALSE(lockBit(Unlocked));
+    EXPECT_EQ(lockVersion(Unlocked), V);
+    Word Locked = Unlocked | 1;
+    EXPECT_TRUE(lockBit(Locked));
+    EXPECT_EQ(lockVersion(Locked), V);
+  }
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  Rng Rand(42);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    BloomFilter F;
+    std::vector<Addr> Inserted;
+    for (int I = 0; I < 12; ++I) {
+      Addr A = static_cast<Addr>(Rand.nextBelow(1u << 24));
+      F.insert(A);
+      Inserted.push_back(A);
+    }
+    for (Addr A : Inserted)
+      EXPECT_TRUE(F.mayContain(A));
+  }
+}
+
+TEST(BloomFilterTest, MostlyRejectsAbsentAddressesWhenSparse) {
+  Rng Rand(43);
+  BloomFilter F;
+  for (int I = 0; I < 4; ++I)
+    F.insert(static_cast<Addr>(Rand.nextBelow(1u << 24)));
+  int FalsePositives = 0;
+  int Probes = 2000;
+  for (int I = 0; I < Probes; ++I)
+    if (F.mayContain(static_cast<Addr>((1u << 24) + Rand.nextBelow(1u << 24))))
+      ++FalsePositives;
+  // 8 of 64 bits set => FP rate ~ (8/64)^2 = 1.6%; allow generous slack.
+  EXPECT_LT(FalsePositives, Probes / 10);
+}
+
+TEST(BloomFilterTest, ClearEmpties) {
+  BloomFilter F;
+  F.insert(123);
+  EXPECT_FALSE(F.empty());
+  F.clear();
+  EXPECT_TRUE(F.empty());
+  // mayContain may return true only for accidental zero-mask; address 123
+  // must hash to nonzero bits.
+  EXPECT_FALSE(F.mayContain(123));
+}
+
+TEST(LogViewTest, CoalescedLayoutInterleavesLanes) {
+  LogView V;
+  V.Base = 1000;
+  V.Cap = 8;
+  V.WarpSize = 32;
+  V.Coalesced = true;
+  // Entry i of lane j sits at base + i*32 + j: lanes of one entry index are
+  // contiguous (one 128-byte segment).
+  EXPECT_EQ(V.slot(0, 0), 1000u);
+  EXPECT_EQ(V.slot(31, 0), 1031u);
+  EXPECT_EQ(V.slot(0, 1), 1032u);
+  EXPECT_EQ(V.slot(5, 3), 1000u + 3 * 32 + 5);
+}
+
+TEST(LogViewTest, PerThreadLayoutIsContiguousPerLane) {
+  LogView V;
+  V.Base = 0;
+  V.Cap = 8;
+  V.WarpSize = 32;
+  V.Coalesced = false;
+  EXPECT_EQ(V.slot(0, 0), 0u);
+  EXPECT_EQ(V.slot(0, 7), 7u);
+  EXPECT_EQ(V.slot(1, 0), 8u);
+  EXPECT_EQ(V.slot(31, 7), 31u * 8 + 7);
+}
+
+/// Drives LockLog operations inside a single-lane kernel and returns the
+/// final ordered contents.
+struct LockLogHarness {
+  DeviceConfig DC;
+  Device Dev;
+  Addr Storage;
+
+  LockLogHarness() : DC(makeConfig()), Dev(DC), Storage(Dev.hostAlloc(4096)) {}
+
+  static DeviceConfig makeConfig() {
+    DeviceConfig C;
+    C.MemoryWords = 1u << 16;
+    C.NumSMs = 1;
+    return C;
+  }
+
+  /// Insert the given (lockIdx, wr, rd) triples and return (idx, wr, rd)
+  /// in iteration order.
+  std::vector<std::tuple<Word, bool, bool>>
+  run(const std::vector<std::tuple<Word, bool, bool>> &Inserts,
+      unsigned Buckets, unsigned BucketCap, unsigned BucketShift,
+      LockLog::Mode M) {
+    std::vector<std::tuple<Word, bool, bool>> Result;
+    LaunchConfig L{1, 1};
+    Dev.launch(L, [&](ThreadCtx &Ctx) {
+      LogView V;
+      V.Base = Storage;
+      V.Cap = Buckets * BucketCap;
+      V.WarpSize = 1;
+      V.Coalesced = true;
+      LockLog Log;
+      Log.configure(V, 0, Buckets, BucketCap, BucketShift, M);
+      for (auto &[Idx, Wr, Rd] : Inserts)
+        Log.insert(Ctx, Idx, Wr, Rd);
+      Log.forEach(Ctx, [&](Word Idx, bool Wr, bool Rd) {
+        Result.push_back({Idx, Wr, Rd});
+      });
+    });
+    return Result;
+  }
+};
+
+TEST(LockLogTest, SortedModeYieldsGlobalOrder) {
+  LockLogHarness H;
+  std::vector<std::tuple<Word, bool, bool>> Inserts = {
+      {700, true, false}, {10, false, true}, {512, false, true},
+      {3, true, false},   {900, false, true}, {256, true, true},
+  };
+  // 8 buckets over a 1024-lock table: shift = 10 - 3 = 7.
+  auto Out = H.run(Inserts, 8, 8, 7, LockLog::Mode::Sorted);
+  ASSERT_EQ(Out.size(), 6u);
+  for (size_t I = 1; I < Out.size(); ++I)
+    EXPECT_LT(std::get<0>(Out[I - 1]), std::get<0>(Out[I]))
+        << "entries not globally sorted";
+}
+
+TEST(LockLogTest, DuplicatesMergeBits) {
+  LockLogHarness H;
+  std::vector<std::tuple<Word, bool, bool>> Inserts = {
+      {100, false, true}, // read
+      {100, true, false}, // later write to the same stripe
+      {50, true, false},
+      {50, true, false}, // exact duplicate
+  };
+  auto Out = H.run(Inserts, 4, 8, 8, LockLog::Mode::Sorted);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(std::get<0>(Out[0]), 50u);
+  EXPECT_TRUE(std::get<1>(Out[0]));  // wr
+  EXPECT_FALSE(std::get<2>(Out[0])); // rd
+  EXPECT_EQ(std::get<0>(Out[1]), 100u);
+  EXPECT_TRUE(std::get<1>(Out[1])); // wr merged in
+  EXPECT_TRUE(std::get<2>(Out[1])); // rd preserved
+}
+
+TEST(LockLogTest, AppendModePreservesEncounterOrder) {
+  LockLogHarness H;
+  std::vector<std::tuple<Word, bool, bool>> Inserts = {
+      {700, true, false}, {10, false, true}, {512, true, false}};
+  auto Out = H.run(Inserts, 4, 8, 8, LockLog::Mode::Append);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(std::get<0>(Out[0]), 700u);
+  EXPECT_EQ(std::get<0>(Out[1]), 10u);
+  EXPECT_EQ(std::get<0>(Out[2]), 512u);
+}
+
+// Property sweep: random insert sequences always iterate sorted + deduped.
+class LockLogPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockLogPropertyTest, RandomSequencesSortAndDedup) {
+  LockLogHarness H;
+  Rng Rand(GetParam() * 7919);
+  std::vector<std::tuple<Word, bool, bool>> Inserts;
+  std::set<Word> Expected;
+  unsigned N = 1 + static_cast<unsigned>(Rand.nextBelow(40));
+  for (unsigned I = 0; I < N; ++I) {
+    Word Idx = static_cast<Word>(Rand.nextBelow(1024));
+    bool Wr = Rand.nextBool(0.5);
+    Inserts.push_back({Idx, Wr, !Wr});
+    Expected.insert(Idx);
+  }
+  auto Out = H.run(Inserts, 8, 48, 7, LockLog::Mode::Sorted);
+  ASSERT_EQ(Out.size(), Expected.size());
+  auto It = Expected.begin();
+  for (size_t I = 0; I < Out.size(); ++I, ++It)
+    EXPECT_EQ(std::get<0>(Out[I]), *It);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockLogPropertyTest, ::testing::Range(1, 13));
+
+TEST(LockLogTest, ForEachUntilStopsEarly) {
+  LockLogHarness H;
+  LaunchConfig L{1, 1};
+  unsigned Seen = 0;
+  H.Dev.launch(L, [&](ThreadCtx &Ctx) {
+    LogView V;
+    V.Base = H.Storage;
+    V.Cap = 64;
+    V.WarpSize = 1;
+    V.Coalesced = true;
+    LockLog Log;
+    Log.configure(V, 0, 8, 8, 7, LockLog::Mode::Sorted);
+    for (Word I = 0; I < 20; ++I)
+      Log.insert(Ctx, I * 40, true, false);
+    Seen = Log.forEachUntil(Ctx, 5, [&](Word, bool, bool) { return true; });
+  });
+  EXPECT_EQ(Seen, 5u);
+}
+
+} // namespace

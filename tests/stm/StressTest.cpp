@@ -1,0 +1,160 @@
+//===- tests/stm/StressTest.cpp - Randomized STM stress sweeps ------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Property-style sweeps: randomized transaction mixes over many seeds and
+// shapes must preserve conservation invariants and the serializability
+// replay under every validation/locking policy combination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tx.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace gpustm;
+using namespace gpustm::stm;
+using simt::Addr;
+using simt::Device;
+using simt::DeviceConfig;
+using simt::LaunchConfig;
+using simt::LaunchResult;
+using simt::ThreadCtx;
+using simt::Word;
+
+namespace {
+
+// (seed, variant, numLocks-log2, warp-size)
+using StressParam = std::tuple<int, Variant, unsigned, unsigned>;
+
+class StmStressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(StmStressTest, RandomMixConservesTokens) {
+  auto [Seed, Kind, LockBits, WarpSize] = GetParam();
+  DeviceConfig DC;
+  DC.MemoryWords = 8u << 20;
+  DC.NumSMs = 3;
+  DC.WarpSize = WarpSize;
+  DC.WatchdogRounds = 1u << 26;
+  Device Dev(DC);
+
+  constexpr unsigned NumWords = 512;
+  constexpr Word Initial = 64;
+  Addr Data = Dev.hostAlloc(NumWords);
+  Dev.hostFill(Data, NumWords, Initial);
+
+  LaunchConfig L{4, 96};
+  StmConfig SC;
+  SC.Kind = Kind;
+  SC.NumLocks = 1u << LockBits;
+  SC.SharedDataWords = NumWords;
+  SC.ReadSetCap = 24;
+  SC.WriteSetCap = 16;
+  SC.LockLogBuckets = 4;
+  SC.LockLogBucketCap = 24;
+  StmRuntime Stm(Dev, SC, L);
+
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Rng Rand(Seed * 1000003 + Ctx.globalThreadId());
+    for (int I = 0; I < 5; ++I) {
+      // Transfer one token between random slots, with a few extra decoy
+      // reads: the total token count is invariant iff transactions are
+      // atomic and isolated.
+      unsigned N = 2 + static_cast<unsigned>(Rand.nextBelow(3));
+      Addr Slots[4];
+      for (unsigned S = 0; S < N; ++S)
+        Slots[S] = Data + static_cast<Addr>(Rand.nextBelow(NumWords));
+      Stm.transaction(Ctx, [&](Tx &T) {
+        for (unsigned S = 1; S + 1 < N; ++S) {
+          (void)T.read(Slots[S]); // Decoy read widens the conflict window.
+          if (!T.valid())
+            return;
+        }
+        if (Slots[0] == Slots[N - 1])
+          return; // Self-transfer: commit read-only.
+        Word A = T.read(Slots[0]);
+        if (!T.valid())
+          return;
+        Word B = T.read(Slots[N - 1]);
+        if (!T.valid())
+          return;
+        T.write(Slots[0], A - 1);
+        T.write(Slots[N - 1], B + 1);
+      });
+    }
+  });
+  ASSERT_TRUE(R.Completed);
+
+  uint64_t Sum = 0;
+  for (unsigned I = 0; I < NumWords; ++I)
+    Sum += Dev.memory().load(Data + I);
+  EXPECT_EQ(Sum, uint64_t(NumWords) * Initial)
+      << "token conservation violated (seed " << Seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, StmStressTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(Variant::VBV, Variant::TBVSorting,
+                                         Variant::HVSorting,
+                                         Variant::HVBackoff),
+                       ::testing::Values(6u, 12u),
+                       ::testing::Values(8u, 32u)),
+    [](const ::testing::TestParamInfo<StressParam> &Info) {
+      std::string Name = variantName(std::get<1>(Info.param));
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_s" + std::to_string(std::get<0>(Info.param)) + "_l" +
+             std::to_string(std::get<2>(Info.param)) + "_w" +
+             std::to_string(std::get<3>(Info.param));
+    });
+
+// Bloom-filter false positives must only cost a scan, never correctness:
+// force a tiny filter universe by writing many distinct addresses.
+TEST(StmStressTest2, ManyWritesExerciseBloomCollisions) {
+  DeviceConfig DC;
+  DC.MemoryWords = 4u << 20;
+  DC.NumSMs = 2;
+  Device Dev(DC);
+  constexpr unsigned NumWords = 4096;
+  Addr Data = Dev.hostAlloc(NumWords);
+  LaunchConfig L{2, 64};
+  StmConfig SC;
+  SC.Kind = Variant::HVSorting;
+  SC.NumLocks = 1u << 12;
+  SC.WriteSetCap = 40;
+  SC.ReadSetCap = 96;
+  SC.LockLogBuckets = 4;
+  SC.LockLogBucketCap = 48;
+  StmRuntime Stm(Dev, SC, L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Rng Rand(17 + Ctx.globalThreadId());
+    Stm.transaction(Ctx, [&](Tx &T) {
+      // 32 distinct writes saturate the 64-bit bloom filter; reads of the
+      // written slots must still return the buffered values.
+      Addr Mine[32];
+      for (int I = 0; I < 32; ++I)
+        Mine[I] = Data + (Ctx.globalThreadId() * 32 + I) % NumWords;
+      for (int I = 0; I < 32; ++I)
+        T.write(Mine[I], 1000 + I);
+      for (int I = 0; I < 32; ++I) {
+        Word V = T.read(Mine[I]);
+        if (!T.valid())
+          return;
+        T.write(Mine[I], V + 1);
+      }
+    });
+  });
+  ASSERT_TRUE(R.Completed);
+  // Every thread owns disjoint slots: values must be 1001..1032.
+  for (unsigned T = 0; T < 128; ++T)
+    for (int I = 0; I < 32; ++I)
+      EXPECT_EQ(Dev.memory().load(Data + (T * 32 + I) % NumWords),
+                static_cast<Word>(1001 + I));
+}
+
+} // namespace

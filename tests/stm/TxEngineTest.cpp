@@ -1,0 +1,388 @@
+//===- tests/stm/TxEngineTest.cpp - Transaction engine correctness --------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Parameterized over every per-thread STM variant: the atomicity, opacity
+// and livelock-freedom properties must hold for all of them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tx.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace gpustm;
+using namespace gpustm::stm;
+using simt::Addr;
+using simt::Device;
+using simt::DeviceConfig;
+using simt::LaunchConfig;
+using simt::LaunchResult;
+using simt::ThreadCtx;
+using simt::Word;
+
+namespace {
+
+DeviceConfig testDeviceConfig() {
+  DeviceConfig C;
+  C.MemoryWords = 8u << 20;
+  C.NumSMs = 4;
+  C.WatchdogRounds = 80u << 20;
+  return C;
+}
+
+StmConfig testStmConfig(Variant V) {
+  StmConfig C;
+  C.Kind = V;
+  C.NumLocks = 1u << 12;
+  C.ReadSetCap = 48;
+  C.WriteSetCap = 48;
+  C.LockLogBuckets = 8;
+  C.LockLogBucketCap = 16;
+  C.SharedDataWords = 1u << 16;
+  return C;
+}
+
+class TxEngineTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(TxEngineTest, SingleThreadIncrement) {
+  Device Dev(testDeviceConfig());
+  Addr Counter = Dev.hostAlloc(1);
+  LaunchConfig L{1, 1};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Stm.transaction(Ctx, [&](Tx &T) {
+      Word V = T.read(Counter);
+      if (!T.valid())
+        return;
+      T.write(Counter, V + 1);
+    });
+  });
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Dev.memory().load(Counter), 1u);
+  EXPECT_EQ(Stm.counters().Commits, 1u);
+}
+
+TEST_P(TxEngineTest, ReadYourOwnWrites) {
+  Device Dev(testDeviceConfig());
+  Addr A = Dev.hostAlloc(4);
+  Addr Out = Dev.hostAlloc(1);
+  LaunchConfig L{1, 1};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Stm.transaction(Ctx, [&](Tx &T) {
+      T.write(A, 41);
+      Word V = T.read(A); // Must hit the write-set.
+      if (!T.valid())
+        return;
+      T.write(A, V + 1);
+      T.write(Out, T.read(A));
+    });
+  });
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Dev.memory().load(A), 42u);
+  EXPECT_EQ(Dev.memory().load(Out), 42u);
+}
+
+TEST_P(TxEngineTest, ConcurrentCounterIncrements) {
+  Device Dev(testDeviceConfig());
+  Addr Counter = Dev.hostAlloc(1);
+  LaunchConfig L{4, 64};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  constexpr unsigned PerThread = 4;
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    for (unsigned I = 0; I < PerThread; ++I) {
+      Stm.transaction(Ctx, [&](Tx &T) {
+        Word V = T.read(Counter);
+        if (!T.valid())
+          return;
+        T.write(Counter, V + 1);
+      });
+    }
+  });
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Dev.memory().load(Counter), 4u * 64u * PerThread);
+  EXPECT_EQ(Stm.counters().Commits, 4u * 64u * PerThread);
+}
+
+TEST_P(TxEngineTest, BankTransferConservation) {
+  Device Dev(testDeviceConfig());
+  constexpr unsigned NumAccounts = 128;
+  constexpr Word Initial = 1000;
+  Addr Accounts = Dev.hostAlloc(NumAccounts);
+  Dev.hostFill(Accounts, NumAccounts, Initial);
+  LaunchConfig L{4, 64};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Rng R(1234 + Ctx.globalThreadId());
+    for (unsigned I = 0; I < 6; ++I) {
+      unsigned From = static_cast<unsigned>(R.nextBelow(NumAccounts));
+      unsigned To =
+          (From + 1 + static_cast<unsigned>(R.nextBelow(NumAccounts - 1))) %
+          NumAccounts;
+      Word Amount = static_cast<Word>(R.nextBelow(10));
+      Stm.transaction(Ctx, [&](Tx &T) {
+        Word F = T.read(Accounts + From);
+        if (!T.valid())
+          return;
+        Word G = T.read(Accounts + To);
+        if (!T.valid())
+          return;
+        T.write(Accounts + From, F - Amount);
+        T.write(Accounts + To, G + Amount);
+      });
+    }
+  });
+  ASSERT_TRUE(R.Completed);
+  uint64_t Sum = 0;
+  for (unsigned I = 0; I < NumAccounts; ++I)
+    Sum += Dev.memory().load(Accounts + I);
+  EXPECT_EQ(Sum, uint64_t(NumAccounts) * Initial);
+}
+
+// Opacity probe: writers keep x + y constant; a reader that passed the
+// valid() checks must never observe a violated invariant.
+TEST_P(TxEngineTest, OpacityInvariantNeverViolated) {
+  if (GetParam() == Variant::CGL)
+    GTEST_SKIP() << "CGL is trivially opaque";
+  Device Dev(testDeviceConfig());
+  Addr X = Dev.hostAlloc(1);
+  Addr Y = Dev.hostAlloc(1);
+  Addr Violations = Dev.hostAlloc(1);
+  Dev.memory().store(X, 500);
+  Dev.memory().store(Y, 500);
+  LaunchConfig L{2, 64};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Rng Rand(99 + Ctx.globalThreadId());
+    bool Writer = Ctx.globalThreadId() % 2 == 0;
+    for (unsigned I = 0; I < 8; ++I) {
+      if (Writer) {
+        Word Delta = static_cast<Word>(Rand.nextBelow(20));
+        Stm.transaction(Ctx, [&](Tx &T) {
+          Word Vx = T.read(X);
+          if (!T.valid())
+            return;
+          Word Vy = T.read(Y);
+          if (!T.valid())
+            return;
+          T.write(X, Vx - Delta);
+          T.write(Y, Vy + Delta);
+        });
+      } else {
+        Stm.transaction(Ctx, [&](Tx &T) {
+          Word Vx = T.read(X);
+          if (!T.valid())
+            return;
+          Word Vy = T.read(Y);
+          if (!T.valid())
+            return;
+          // Both reads were validated: the snapshot must be consistent.
+          if (Vx + Vy != 1000)
+            T.write(Violations, 1);
+        });
+      }
+    }
+  });
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Dev.memory().load(Violations), 0u);
+  EXPECT_EQ(Dev.memory().load(X) + Dev.memory().load(Y), 1000u);
+}
+
+// The paper's intra-warp circular-locking scenario (Section 3.2.2): T1
+// reads Y and updates X while T2 (same warp) reads X and updates Y.  With
+// encounter-time lock-sorting this must commit.
+TEST_P(TxEngineTest, CircularLockingPatternMakesProgress) {
+  if (GetParam() == Variant::CGL)
+    GTEST_SKIP() << "CGL takes no per-stripe locks";
+  Device Dev(testDeviceConfig());
+  Addr X = Dev.hostAlloc(1);
+  Addr Y = Dev.hostAlloc(1);
+  LaunchConfig L{1, 2};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    bool IsT1 = Ctx.globalThreadId() == 0;
+    Addr ReadFrom = IsT1 ? Y : X;
+    Addr WriteTo = IsT1 ? X : Y;
+    Stm.transaction(Ctx, [&](Tx &T) {
+      Word V = T.read(ReadFrom);
+      if (!T.valid())
+        return;
+      T.write(WriteTo, V + 1);
+    });
+  });
+  ASSERT_TRUE(R.Completed) << "circular locking pattern livelocked";
+  EXPECT_FALSE(R.WatchdogTripped);
+}
+
+// Serializability replay: committed transactions, ordered by their commit
+// versions, must reproduce the final memory image, and each transaction's
+// logged reads must match the replayed state at its serialization point.
+TEST_P(TxEngineTest, SerializabilityReplayOracle) {
+  Device Dev(testDeviceConfig());
+  constexpr unsigned NumWords = 64;
+  constexpr unsigned NumThreads = 96;
+  constexpr unsigned TxPerThread = 4;
+  Addr Data = Dev.hostAlloc(NumWords);
+  for (unsigned I = 0; I < NumWords; ++I)
+    Dev.memory().store(Data + I, I * 17);
+
+  struct TxRecord {
+    Word Version;
+    std::vector<std::pair<Addr, Word>> Reads;
+    std::vector<std::pair<Addr, Word>> Writes;
+  };
+  std::vector<TxRecord> Records;
+  std::vector<std::pair<Addr, Word>> CurReads[NumThreads];
+  std::vector<std::pair<Addr, Word>> CurWrites[NumThreads];
+
+  LaunchConfig L{3, 32};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    unsigned Tid = Ctx.globalThreadId();
+    Rng Rand(7 + Tid);
+    for (unsigned I = 0; I < TxPerThread; ++I) {
+      Addr A = Data + static_cast<Addr>(Rand.nextBelow(NumWords));
+      Addr B = Data + static_cast<Addr>(Rand.nextBelow(NumWords));
+      Addr C = Data + static_cast<Addr>(Rand.nextBelow(NumWords));
+      Stm.transaction(Ctx, [&](Tx &T) {
+        CurReads[Tid].clear();
+        CurWrites[Tid].clear();
+        Word Va = T.read(A);
+        if (!T.valid())
+          return;
+        CurReads[Tid].push_back({A, Va});
+        Word Vb = T.read(B);
+        if (!T.valid())
+          return;
+        CurReads[Tid].push_back({B, Vb});
+        Word Out = Va + Vb + 1;
+        T.write(C, Out);
+        CurWrites[Tid].push_back({C, Out});
+      });
+      TxRecord Rec;
+      Rec.Version = Stm.lastCommitVersion(Tid);
+      Rec.Reads = CurReads[Tid];
+      Rec.Writes = CurWrites[Tid];
+      Records.push_back(std::move(Rec));
+    }
+  });
+  ASSERT_TRUE(R.Completed);
+
+  // Replay in serialization order against an initial-image copy.
+  std::sort(Records.begin(), Records.end(),
+            [](const TxRecord &A, const TxRecord &B) {
+              return A.Version < B.Version;
+            });
+  std::map<Addr, Word> Image;
+  for (unsigned I = 0; I < NumWords; ++I)
+    Image[Data + I] = I * 17;
+  for (const TxRecord &Rec : Records) {
+    for (auto &[A, V] : Rec.Reads)
+      EXPECT_EQ(Image[A], V) << "read of " << A << " inconsistent at version "
+                             << Rec.Version;
+    for (auto &[A, V] : Rec.Writes)
+      Image[A] = V;
+  }
+  for (unsigned I = 0; I < NumWords; ++I)
+    EXPECT_EQ(Dev.memory().load(Data + I), Image[Data + I]) << "word " << I;
+}
+
+TEST_P(TxEngineTest, ReadOnlyTransactionDoesNotBumpClock) {
+  if (GetParam() == Variant::CGL || GetParam() == Variant::VBV)
+    GTEST_SKIP() << "no version clock";
+  Device Dev(testDeviceConfig());
+  Addr A = Dev.hostAlloc(4);
+  LaunchConfig L{1, 32};
+  StmRuntime Stm(Dev, testStmConfig(GetParam()), L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    Stm.transaction(Ctx, [&](Tx &T) {
+      (void)T.read(A + Ctx.laneId() % 4);
+    });
+  });
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Stm.counters().ReadOnlyCommits, 32u);
+  EXPECT_EQ(Stm.counters().Commits, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TxEngineTest,
+    ::testing::Values(Variant::CGL, Variant::VBV, Variant::TBVSorting,
+                      Variant::HVSorting, Variant::HVBackoff,
+                      Variant::Optimized),
+    [](const ::testing::TestParamInfo<Variant> &Info) {
+      std::string Name = variantName(Info.param);
+      std::replace(Name.begin(), Name.end(), '-', '_');
+      return Name;
+    });
+
+// The motivating failure: without sorting (and without backoff), the
+// paper's reverse-order locking example livelocks inside a warp.  The
+// watchdog must catch it.
+TEST(LockSortingAblation, UnsortedCircularLockingLivelocks) {
+  DeviceConfig DC = testDeviceConfig();
+  DC.WatchdogRounds = 200000;
+  Device Dev(DC);
+  Addr X = Dev.hostAlloc(1);
+  Addr Y = Dev.hostAlloc(1);
+  LaunchConfig L{1, 2};
+  StmConfig SC = testStmConfig(Variant::HVSorting);
+  SC.DisableSorting = true;
+  SC.PreLockValidation = false;
+  StmRuntime Stm(Dev, SC, L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    bool IsT1 = Ctx.globalThreadId() == 0;
+    // T1 locks {X, Y} in that encounter order, T2 locks {Y, X}: a circular
+    // wait re-attempted in lockstep forever.
+    Addr First = IsT1 ? X : Y;
+    Addr Second = IsT1 ? Y : X;
+    Stm.transaction(Ctx, [&](Tx &T) {
+      Word A = T.read(First);
+      if (!T.valid())
+        return;
+      Word B = T.read(Second);
+      if (!T.valid())
+        return;
+      T.write(First, A + 1);
+      T.write(Second, B + 1);
+    });
+  });
+  EXPECT_FALSE(R.Completed);
+  EXPECT_TRUE(R.WatchdogTripped) << "expected intra-warp livelock";
+}
+
+// Same pattern, sorting enabled: completes.
+TEST(LockSortingAblation, SortedCircularLockingCompletes) {
+  Device Dev(testDeviceConfig());
+  Addr X = Dev.hostAlloc(1);
+  Addr Y = Dev.hostAlloc(1);
+  LaunchConfig L{1, 2};
+  StmConfig SC = testStmConfig(Variant::HVSorting);
+  SC.PreLockValidation = false;
+  StmRuntime Stm(Dev, SC, L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    bool IsT1 = Ctx.globalThreadId() == 0;
+    Addr First = IsT1 ? X : Y;
+    Addr Second = IsT1 ? Y : X;
+    Stm.transaction(Ctx, [&](Tx &T) {
+      Word A = T.read(First);
+      if (!T.valid())
+        return;
+      Word B = T.read(Second);
+      if (!T.valid())
+        return;
+      T.write(First, A + 1);
+      T.write(Second, B + 1);
+    });
+  });
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Dev.memory().load(X), 2u);
+  EXPECT_EQ(Dev.memory().load(Y), 2u);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- tests/support/SupportTest.cpp - Support library tests --------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EnvOptions.h"
+#include "support/Format.h"
+#include "support/FunctionRef.h"
+#include "support/MathExtras.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace gpustm;
+
+namespace {
+
+TEST(MathExtrasTest, PowerOfTwoPredicates) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ull << 40));
+  EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(MathExtrasTest, Log2AndNextPow2) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(1024), 10u);
+  EXPECT_EQ(nextPowerOf2(1), 1ull);
+  EXPECT_EQ(nextPowerOf2(3), 4ull);
+  EXPECT_EQ(nextPowerOf2(1024), 1024ull);
+  EXPECT_EQ(nextPowerOf2(1025), 2048ull);
+}
+
+TEST(MathExtrasTest, DivideCeilAndAlign) {
+  EXPECT_EQ(divideCeil(0, 4), 0ull);
+  EXPECT_EQ(divideCeil(1, 4), 1ull);
+  EXPECT_EQ(divideCeil(4, 4), 1ull);
+  EXPECT_EQ(divideCeil(5, 4), 2ull);
+  EXPECT_EQ(alignTo(0, 16), 0ull);
+  EXPECT_EQ(alignTo(1, 16), 16ull);
+  EXPECT_EQ(alignTo(16, 16), 16ull);
+}
+
+TEST(RandomTest, DeterministicAndSeedSensitive) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Diverged = false;
+  Rng A2(42);
+  for (int I = 0; I < 100 && !Diverged; ++I)
+    Diverged = A2.next() != C.next();
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(RandomTest, BoundedSamplingStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = R.nextBelow(37);
+    EXPECT_LT(V, 37u);
+  }
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextInRange(10, 20);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 20u);
+  }
+}
+
+TEST(RandomTest, RoughUniformity) {
+  Rng R(11);
+  unsigned Buckets[8] = {};
+  constexpr int N = 80000;
+  for (int I = 0; I < N; ++I)
+    ++Buckets[R.nextBelow(8)];
+  for (unsigned B : Buckets) {
+    EXPECT_GT(B, N / 8 - N / 40);
+    EXPECT_LT(B, N / 8 + N / 40);
+  }
+}
+
+TEST(RandomTest, ZeroSeedIsRemapped) {
+  Rng R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("%d + %d = %d", 2, 2, 4), "2 + 2 = 4");
+  EXPECT_EQ(formatString("%s", "plain"), "plain");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(FormatTest, FormatCount) {
+  EXPECT_EQ(formatCount(7), "7");
+  EXPECT_EQ(formatCount(1024), "1K");
+  EXPECT_EQ(formatCount(1u << 20), "1M");
+  EXPECT_EQ(formatCount(3u << 20), "3M");
+  EXPECT_EQ(formatCount(1000), "1000");
+}
+
+TEST(StatsTest, AddGetMergeEntries) {
+  StatsSet A, B;
+  A.inc("x");
+  A.add("x", 4);
+  A.set("y", 10);
+  B.add("x", 1);
+  B.add("z", 2);
+  A.merge(B);
+  EXPECT_EQ(A.get("x"), 6u);
+  EXPECT_EQ(A.get("y"), 10u);
+  EXPECT_EQ(A.get("z"), 2u);
+  EXPECT_EQ(A.get("missing"), 0u);
+  auto E = A.entries();
+  ASSERT_EQ(E.size(), 3u);
+  EXPECT_EQ(E[0].first, "x"); // Name-sorted.
+}
+
+TEST(EnvOptionsTest, ParsesAndDefaults) {
+  ::setenv("GPUSTM_TEST_OPT", "123", 1);
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 123u);
+  ::setenv("GPUSTM_TEST_OPT", "garbage", 1);
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 7u);
+  ::unsetenv("GPUSTM_TEST_OPT");
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 7u);
+  ::setenv("GPUSTM_TEST_OPT", "0x10", 1);
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 16u);
+  ::unsetenv("GPUSTM_TEST_OPT");
+  EXPECT_EQ(envString("GPUSTM_TEST_OPT", "dflt"), "dflt");
+}
+
+TEST(FunctionRefTest, CallsThroughWithCaptures) {
+  int Acc = 0;
+  auto AddN = [&Acc](int N) { Acc += N; return Acc; };
+  function_ref<int(int)> F = AddN;
+  EXPECT_EQ(F(3), 3);
+  EXPECT_EQ(F(4), 7);
+  function_ref<int(int)> Empty;
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  EXPECT_TRUE(static_cast<bool>(F));
+}
+
+} // namespace

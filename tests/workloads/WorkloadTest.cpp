@@ -1,0 +1,178 @@
+//===- tests/workloads/WorkloadTest.cpp - Workload oracle tests -----------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Every workload must produce a correct result image under every STM
+// variant (parameterized sweep), verified by its exact oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/EigenBench.h"
+#include "workloads/Genome.h"
+#include "workloads/Harness.h"
+#include "workloads/HashTable.h"
+#include "workloads/KMeans.h"
+#include "workloads/Labyrinth.h"
+#include "workloads/RandomArray.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using stm::Variant;
+
+namespace {
+
+HarnessConfig smallConfig(Variant V) {
+  HarnessConfig C;
+  C.Kind = V;
+  C.Launches = {{8, 64}};
+  C.NumLocks = 1u << 14;
+  C.DeviceCfg.NumSMs = 4;
+  C.DeviceCfg.WatchdogRounds = 1u << 26;
+  return C;
+}
+
+std::unique_ptr<Workload> makeSmall(const std::string &Name) {
+  if (Name == "RA") {
+    RandomArray::Params P;
+    P.ArrayWords = 1u << 14;
+    P.NumTx = 1024;
+    return std::make_unique<RandomArray>(P);
+  }
+  if (Name == "HT") {
+    HashTable::Params P;
+    P.TableWords = 1u << 13;
+    P.NumTx = 1024;
+    return std::make_unique<HashTable>(P);
+  }
+  if (Name == "EB") {
+    EigenBench::Params P;
+    P.HotWords = 1u << 14;
+    P.NumTx = 1024;
+    P.MaxThreads = 1024;
+    return std::make_unique<EigenBench>(P);
+  }
+  if (Name == "LB") {
+    Labyrinth::Params P;
+    P.GridN = 32;
+    P.NumRoutes = 48;
+    P.ExpansionCycles = 500;
+    return std::make_unique<Labyrinth>(P);
+  }
+  if (Name == "GN") {
+    Genome::Params P;
+    P.GenomeLen = 1024;
+    P.NumSegments = 1536;
+    P.TableWords = 1u << 12;
+    return std::make_unique<Genome>(P);
+  }
+  if (Name == "KM") {
+    KMeans::Params P;
+    P.NumPoints = 1024;
+    P.K = 8;
+    return std::make_unique<KMeans>(P);
+  }
+  return nullptr;
+}
+
+struct Case {
+  const char *Workload;
+  Variant V;
+};
+
+class WorkloadVariantTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadVariantTest, ProducesVerifiedResult) {
+  Case C = GetParam();
+  auto W = makeSmall(C.Workload);
+  ASSERT_NE(W, nullptr);
+  HarnessConfig HC = smallConfig(C.V);
+  if (std::string(C.Workload) == "LB")
+    HC.Launches = {{16, 32}};
+  HarnessResult R = runWorkload(*W, HC);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_TRUE(R.Verified) << R.Error;
+  EXPECT_GT(R.TotalCycles, 0u);
+  EXPECT_GT(R.Stm.Commits, 0u);
+}
+
+std::vector<Case> allCases() {
+  std::vector<Case> Cases;
+  for (const char *W : {"RA", "HT", "EB", "LB", "GN", "KM"})
+    for (Variant V : {Variant::CGL, Variant::VBV, Variant::TBVSorting,
+                      Variant::HVSorting, Variant::HVBackoff,
+                      Variant::Optimized, Variant::EGPGV})
+      Cases.push_back({W, V});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloadsAllVariants, WorkloadVariantTest,
+                         ::testing::ValuesIn(allCases()),
+                         [](const ::testing::TestParamInfo<Case> &Info) {
+                           std::string Name = Info.param.Workload;
+                           Name += "_";
+                           std::string V = stm::variantName(Info.param.V);
+                           for (char &Ch : V)
+                             if (Ch == '-')
+                               Ch = '_';
+                           return Name + V;
+                         });
+
+TEST(HarnessTest, DeterministicAcrossRuns) {
+  auto Run = [] {
+    auto W = makeSmall("RA");
+    return runWorkload(*W, smallConfig(Variant::HVSorting));
+  };
+  HarnessResult A = Run();
+  HarnessResult B = Run();
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.Stm.Commits, B.Stm.Commits);
+  EXPECT_EQ(A.Stm.Aborts, B.Stm.Aborts);
+}
+
+TEST(HarnessTest, GenomeRunsTwoKernels) {
+  auto W = makeSmall("GN");
+  HarnessResult R = runWorkload(*W, smallConfig(Variant::HVSorting));
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.KernelCycles.size(), 2u);
+  EXPECT_GT(R.KernelCycles[0], 0u);
+  EXPECT_GT(R.KernelCycles[1], 0u);
+}
+
+TEST(HarnessTest, TxTimeProportionIsSane) {
+  auto W = makeSmall("RA");
+  HarnessResult R = runWorkload(*W, smallConfig(Variant::HVSorting));
+  ASSERT_TRUE(R.Completed);
+  double TxTime = R.txTimeProportion();
+  EXPECT_GT(TxTime, 0.0);
+  EXPECT_LE(TxTime, 1.0);
+}
+
+TEST(HarnessTest, StmVariantsBeatCglOnRA) {
+  // The paper's headline: per-thread STM outperforms coarse-grained
+  // locking when conflicts are modest (Figure 2).
+  auto W = makeSmall("RA");
+  HarnessConfig HC = smallConfig(Variant::HVSorting);
+  uint64_t Cgl = cglBaselineCycles(*W, HC);
+  HarnessResult Stm = runWorkload(*W, HC);
+  ASSERT_TRUE(Stm.Completed);
+  EXPECT_LT(Stm.TotalCycles, Cgl) << "STM should beat CGL on RA";
+}
+
+TEST(HarnessTest, EgpgvIsSlowerThanPerThreadStm) {
+  // EGPGV only supports per-thread-block transactions => limited
+  // concurrency (Section 5 / Figure 2).
+  auto W1 = makeSmall("RA");
+  auto W2 = makeSmall("RA");
+  HarnessResult PerThread = runWorkload(*W1, smallConfig(Variant::HVSorting));
+  HarnessResult Egpgv = runWorkload(*W2, smallConfig(Variant::EGPGV));
+  ASSERT_TRUE(PerThread.Completed);
+  ASSERT_TRUE(Egpgv.Completed);
+  EXPECT_TRUE(Egpgv.Verified) << Egpgv.Error;
+  EXPECT_GT(Egpgv.TotalCycles, PerThread.TotalCycles);
+}
+
+} // namespace
