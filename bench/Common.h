@@ -20,6 +20,9 @@
 #include "workloads/Harness.h"
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace gpustm {
 namespace bench {
@@ -55,20 +58,96 @@ inline std::vector<stm::Variant> figure2Variants() {
 }
 
 /// Paper-shaped (scaled) launch configuration for each workload, modeled on
-/// Table 2.
+/// Table 2 (shared with tools/stmtrace).
 inline std::vector<simt::LaunchConfig>
 launchFor(const std::string &Name, unsigned Scale) {
-  using simt::LaunchConfig;
-  if (Name == "RA" || Name == "HT" || Name == "EB")
-    return {LaunchConfig{32u * Scale, 256}};
-  if (Name == "GN") // Two kernels: wide dedup, narrow linking (Table 2).
-    return {LaunchConfig{32u * Scale, 256}, LaunchConfig{16u * Scale, 64}};
-  if (Name == "LB") // One transactional thread per block.
-    return {LaunchConfig{64u * Scale, 32}};
-  if (Name == "KM") // Small blocks: high conflict limits concurrency.
-    return {LaunchConfig{64u * Scale, 8}};
-  return {LaunchConfig{32u * Scale, 256}};
+  return workloads::paperLaunches(Name, Scale);
 }
+
+/// Machine-readable companion to the printed tables: every bench binary
+/// also writes BENCH_<name>.json ({"bench", "scale", "rows": [...]}) into
+/// the working directory, so plots can regenerate without scraping stdout.
+class BenchJson {
+public:
+  /// One row under construction; key/value setters return *this so rows
+  /// read as one chained expression.  The row is committed by ~Row.
+  class Row {
+  public:
+    Row(BenchJson &Parent) : Parent(Parent) {}
+    Row(const Row &) = delete;
+    Row &operator=(const Row &) = delete;
+    ~Row() { Parent.Rows.push_back("{" + Fields + "}"); }
+
+    Row &str(const char *Key, const std::string &Value) {
+      return field(Key, "\"" + escape(Value) + "\"");
+    }
+    Row &num(const char *Key, double Value) {
+      return field(Key, formatString("%.6g", Value));
+    }
+    Row &num(const char *Key, uint64_t Value) {
+      return field(Key,
+                   formatString("%llu",
+                                static_cast<unsigned long long>(Value)));
+    }
+    Row &flag(const char *Key, bool Value) {
+      return field(Key, Value ? "true" : "false");
+    }
+
+  private:
+    Row &field(const char *Key, const std::string &Rendered) {
+      if (!Fields.empty())
+        Fields += ",";
+      Fields += "\"" + escape(Key) + "\":" + Rendered;
+      return *this;
+    }
+    static std::string escape(const std::string &S) {
+      std::string Out;
+      for (char C : S) {
+        if (C == '"' || C == '\\')
+          Out.push_back('\\');
+        Out.push_back(C);
+      }
+      return Out;
+    }
+
+    BenchJson &Parent;
+    std::string Fields;
+  };
+
+  explicit BenchJson(const std::string &Name) : Name(Name) {}
+  BenchJson(const BenchJson &) = delete;
+  BenchJson &operator=(const BenchJson &) = delete;
+  ~BenchJson() {
+    if (!Written)
+      write();
+  }
+
+  Row row() { return Row(*this); }
+
+  /// Write BENCH_<name>.json now (also called by the destructor).
+  void write() {
+    Written = true;
+    std::string Path = "BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(F, "{\"bench\":\"%s\",\"scale\":%u,\"rows\":[\n",
+                 Name.c_str(), benchScale());
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F, "%s%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(F, "]}\n");
+    std::fclose(F);
+    std::printf("(json: %s)\n", Path.c_str());
+  }
+
+private:
+  std::string Name;
+  std::vector<std::string> Rows;
+  bool Written = false;
+};
 
 } // namespace bench
 } // namespace gpustm

@@ -23,6 +23,7 @@ int main() {
   printBanner("Ablation: coalesced vs per-thread read/write-set layout",
               "Section 3.1 (coalesced log organization, as in KILO TM)");
 
+  BenchJson Json("ablate_coalescing");
   std::printf("%-10s %-12s %18s %15s %12s\n", "threads", "layout",
               "mem-transactions", "cycles", "vs-coalesced");
   for (unsigned Threads : {1024u, 4096u, 8192u}) {
@@ -45,6 +46,10 @@ int main() {
       }
       if (Coalesced)
         Base = R.TotalCycles;
+      Json.row().num("threads", static_cast<uint64_t>(Threads))
+          .str("layout", Coalesced ? "coalesced" : "per-thread")
+          .num("mem_transactions", R.Sim.get("simt.mem_transactions"))
+          .num("cycles", R.TotalCycles);
       std::printf("%-10u %-12s %18llu %15llu %12s\n", Threads,
                   Coalesced ? "coalesced" : "per-thread",
                   static_cast<unsigned long long>(

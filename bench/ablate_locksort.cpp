@@ -28,7 +28,7 @@ using simt::Word;
 namespace {
 
 /// The paper's reverse-order locking pattern inside one warp.
-void runCircularPattern(bool Sorted) {
+void runCircularPattern(BenchJson &Json, bool Sorted) {
   simt::DeviceConfig DC;
   DC.MemoryWords = 8u << 20;
   DC.WatchdogRounds = 300000;
@@ -63,6 +63,9 @@ void runCircularPattern(bool Sorted) {
                                              R.ElapsedCycles))
                                 .c_str()
                           : "LIVELOCK (watchdog tripped)");
+  Json.row().str("part", "circular").flag("sorted", Sorted)
+      .flag("completed", R.Completed)
+      .num("cycles", R.Completed ? R.ElapsedCycles : 0);
 }
 
 } // namespace
@@ -72,10 +75,11 @@ int main() {
   printBanner("Ablation: encounter-time lock-sorting vs alternatives",
               "Sections 2.2, 3.1 (livelock-freedom)");
 
+  BenchJson Json("ablate_locksort");
   std::printf("\nPart 1: reverse-order locking inside one warp "
               "(T1: X then Y, T2: Y then X)\n");
-  runCircularPattern(/*Sorted=*/false);
-  runCircularPattern(/*Sorted=*/true);
+  runCircularPattern(Json, /*Sorted=*/false);
+  runCircularPattern(Json, /*Sorted=*/true);
 
   std::printf("\nPart 2: sorting vs warp-serialized backoff vs the adaptive "
               "selector (paper future work) on RA as conflicts rise\n");
@@ -97,6 +101,11 @@ int main() {
       HarnessResult R = runWorkload(W, HC);
       Cycles[I] = R.Completed && R.Verified ? R.TotalCycles : 0;
       Aborts[I] = R.abortRate();
+      static const char *Policies[] = {"sorted", "backoff", "adaptive"};
+      Json.row().str("part", "ra-sweep")
+          .num("array_words", static_cast<uint64_t>(ArrayWords))
+          .str("policy", Policies[I]).num("cycles", Cycles[I])
+          .num("abort_rate", Aborts[I]);
     }
     std::printf("%-12s %15llu %12s %15llu %12s %15llu %12s\n",
                 formatCount(ArrayWords).c_str(),

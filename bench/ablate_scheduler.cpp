@@ -38,6 +38,7 @@ int main() {
       {"unlimited", 0},    {"static-8", 8},   {"static-32", 32},
       {"static-128", 128}, {"static-512", 512}, {"adaptive", ~0u},
   };
+  BenchJson Json("ablate_scheduler");
   for (const CapCase &C : Cases) {
     KMeans::Params P;
     P.NumPoints = 8192 * Scale;
@@ -55,6 +56,8 @@ int main() {
     std::printf("%-12s %15llu %12s\n", C.Label,
                 static_cast<unsigned long long>(R.TotalCycles),
                 fmtPercent(R.abortRate()).c_str());
+    Json.row().str("cap", C.Label).num("cycles", R.TotalCycles)
+        .num("abort_rate", R.abortRate());
     std::fflush(stdout);
   }
   std::printf("\nKM's tiny shared data makes unlimited concurrency abort "

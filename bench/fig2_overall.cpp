@@ -34,6 +34,7 @@ int main() {
   // Scaled runs keep the shared-data : lock ratio: RA and LB exceed the
   // lock count (false conflicts appear), HT/GN/KM stay below it.
   size_t NumLocks = (64u << 10) * Scale;
+  BenchJson Json("fig2_overall");
 
   std::printf("%-4s %-10s", "WL", "CGL-cycles");
   for (stm::Variant V : figure2Variants())
@@ -57,10 +58,16 @@ int main() {
       HarnessResult R = runWorkload(*W, Run);
       if (!R.Completed || !R.Verified) {
         std::printf(" %15s", R.Completed ? "UNVERIFIED" : "FAILED");
+        Json.row().str("workload", Name).str("variant", stm::variantName(V))
+            .num("cgl_cycles", Cgl).flag("ok", false);
         continue;
       }
       double Speedup = static_cast<double>(Cgl) / R.TotalCycles;
       std::printf(" %15s", fmtSpeedup(Speedup).c_str());
+      Json.row().str("workload", Name).str("variant", stm::variantName(V))
+          .num("cgl_cycles", Cgl).num("cycles", R.TotalCycles)
+          .num("speedup", Speedup).num("abort_rate", R.abortRate())
+          .flag("ok", true);
     }
     std::printf("\n");
     std::fflush(stdout);

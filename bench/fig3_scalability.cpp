@@ -45,6 +45,7 @@ int main() {
       stm::Variant::HVSorting, stm::Variant::HVBackoff,
       stm::Variant::Optimized};
 
+  BenchJson Json("fig3_scalability");
   std::printf("%-8s %-12s", "threads", "CGL-cycles");
   for (stm::Variant V : Variants)
     std::printf(" %15s", stm::variantName(V));
@@ -69,10 +70,17 @@ int main() {
       HarnessResult R = runWorkload(*W, Run);
       if (!R.Completed || !R.Verified) {
         std::printf(" %15s", "FAILED");
+        Json.row().num("threads", static_cast<uint64_t>(Threads))
+            .str("variant", stm::variantName(V)).flag("ok", false);
         continue;
       }
       std::printf(" %15s",
                   fmtSpeedup(static_cast<double>(Cgl) / R.TotalCycles).c_str());
+      Json.row().num("threads", static_cast<uint64_t>(Threads))
+          .str("variant", stm::variantName(V)).num("cgl_cycles", Cgl)
+          .num("cycles", R.TotalCycles)
+          .num("speedup", static_cast<double>(Cgl) / R.TotalCycles)
+          .flag("ok", true);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -47,6 +47,7 @@ int main() {
   std::vector<size_t> LockCounts = {64u << 10, 256u << 10, 1u << 20};
   std::vector<unsigned> ThreadCounts = {1024, 4096, 16384};
 
+  BenchJson Json("fig4_hv_vs_tbv");
   for (size_t Shared : SharedSizes) {
     std::printf("\n--- shared data = %s words ---\n",
                 formatCount(Shared).c_str());
@@ -80,6 +81,11 @@ int main() {
           }
           Speedup[I] = static_cast<double>(Cgl) / R.TotalCycles;
           AbortRate[I] = R.abortRate();
+          Json.row().num("shared_words", static_cast<uint64_t>(Shared))
+              .num("threads", static_cast<uint64_t>(Threads))
+              .num("locks", static_cast<uint64_t>(Locks))
+              .str("variant", stm::variantName(Variants[I]))
+              .num("speedup", Speedup[I]).num("abort_rate", AbortRate[I]);
         }
         std::printf("%-8u %-10s %12s %12s %12s %12s\n", Threads,
                     formatCount(Locks).c_str(), fmtSpeedup(Speedup[0]).c_str(),

@@ -48,6 +48,7 @@ int main() {
                           "consistency", "locking", "commit",
                           "aborted"};
 
+  BenchJson Json("fig5_breakdown");
   std::printf("%-6s", "WL");
   for (const char *P : Phases)
     std::printf(" %12s", P);
@@ -83,10 +84,15 @@ int main() {
       Total += Vals[I];
     }
     std::printf("%-6s", R.Label);
-    for (int I = 0; I < 7; ++I)
-      std::printf(" %12s",
-                  fmtPercent(Total ? static_cast<double>(Vals[I]) / Total : 0)
-                      .c_str());
+    {
+      BenchJson::Row Row = Json.row();
+      Row.str("kernel", R.Label);
+      for (int I = 0; I < 7; ++I) {
+        double Share = Total ? static_cast<double>(Vals[I]) / Total : 0;
+        std::printf(" %12s", fmtPercent(Share).c_str());
+        Row.num(Phases[I], Share);
+      }
+    }
     std::printf("\n");
     std::fflush(stdout);
   }

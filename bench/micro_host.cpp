@@ -7,6 +7,10 @@
 // order-preserving lock-log insertion (showing the paper's O(n^2) concern
 // and the bucket/binary-search mitigation), and raw warp-round throughput.
 //
+// Unlike the harness-based bench binaries (which write BENCH_<name>.json
+// themselves), machine-readable output here comes from google-benchmark's
+// own flags: --benchmark_format=json or --benchmark_out=<file>.
+//
 //===----------------------------------------------------------------------===//
 
 #include "simt/Device.h"

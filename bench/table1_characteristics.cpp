@@ -24,6 +24,7 @@ int main() {
   std::printf("%-4s %-12s %-8s %-8s %-10s %-9s %-10s\n", "WL", "shared-data",
               "RD/TX", "WR/TX", "TX/kernel", "TX-time", "conflicts");
 
+  BenchJson Json("table1_characteristics");
   std::vector<std::string> Names = {"RA", "HT", "EB", "GN", "LB", "KM"};
   for (const std::string &Name : Names) {
     auto W = makeWorkload(Name, Scale);
@@ -49,6 +50,12 @@ int main() {
                 formatCount(W->sharedDataWords()).c_str(), RdPerTx, WrPerTx,
                 TxPerKernel, fmtPercent(R.txTimeProportion()).c_str(),
                 fmtPercent(R.abortRate()).c_str());
+    Json.row().str("workload", Name)
+        .num("shared_words", static_cast<uint64_t>(W->sharedDataWords()))
+        .num("reads_per_tx", RdPerTx).num("writes_per_tx", WrPerTx)
+        .num("tx_per_kernel", TxPerKernel)
+        .num("tx_time", R.txTimeProportion())
+        .num("conflict_rate", R.abortRate());
     std::fflush(stdout);
   }
   std::printf("\nShared data is in 32-bit words; RD/TX and WR/TX average "

@@ -28,6 +28,7 @@ int main() {
                                  64u * Scale};
   std::vector<unsigned> Blocks = {8, 32, 64, 256};
 
+  BenchJson Json("table2_launch_configs");
   std::printf("%-6s %-14s %-12s %-14s\n", "WL", "best-config", "cycles",
               "runner-up");
   for (const std::string &Name : figure2WorkloadNames()) {
@@ -71,6 +72,12 @@ int main() {
                   Best.GridDim, Best.BlockDim,
                   static_cast<unsigned long long>(BestCycles), Second.GridDim,
                   Second.BlockDim);
+      Json.row().str("kernel", Label)
+          .num("best_grid", static_cast<uint64_t>(Best.GridDim))
+          .num("best_block", static_cast<uint64_t>(Best.BlockDim))
+          .num("cycles", BestCycles)
+          .num("second_grid", static_cast<uint64_t>(Second.GridDim))
+          .num("second_block", static_cast<uint64_t>(Second.BlockDim));
       std::fflush(stdout);
     }
   }

@@ -91,8 +91,10 @@ struct TraceEvent {
   unsigned BlockIdx;
   unsigned WarpIdInBlock;
   unsigned LaneIdx;
+  unsigned SmIdx; ///< SM the lane's block is resident on.
   OpKind Kind;
   Addr Address;   ///< InvalidAddr for non-memory ops.
+  Word Value = 0; ///< Memory content at Address after the op (0 otherwise).
   Phase LanePhase;
 };
 

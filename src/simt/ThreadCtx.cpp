@@ -15,6 +15,11 @@
 using namespace gpustm;
 using namespace gpustm::simt;
 
+unsigned ThreadCtx::smId() const {
+  assert(ParentWarp && "ThreadCtx not bound to a warp");
+  return ParentWarp->block().HomeSM;
+}
+
 Word ThreadCtx::yieldOp(const Op &O) {
   assert(Self && "ThreadCtx not bound to a lane");
   Self->PendingOp = O;

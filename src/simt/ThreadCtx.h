@@ -65,6 +65,8 @@ public:
     unsigned WarpsPerBlock = (BlockDimV + WarpSizeV - 1) / WarpSizeV;
     return BlockIdx * WarpsPerBlock + WarpIdxInBlock;
   }
+  /// SM the thread's block is resident on (stable for the block's life).
+  unsigned smId() const;
 
   //===--------------------------------------------------------------------===//
   // Global memory

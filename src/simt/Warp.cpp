@@ -476,8 +476,10 @@ RoundCost Warp::executeRound() {
       E.BlockIdx = Block->BlockIdx;
       E.WarpIdInBlock = WarpIdInBlock;
       E.LaneIdx = I;
+      E.SmIdx = Block->HomeSM;
       E.Kind = L.State == LaneState::Finished ? OpKind::None : L.PendingOp.Kind;
       E.Address = L.PendingOp.Address;
+      E.Value = E.Address != InvalidAddr ? Dev.Mem.load(E.Address) : 0;
       E.LanePhase = L.CurPhase;
       Dev.TraceHook(E);
     }

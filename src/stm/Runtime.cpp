@@ -92,6 +92,22 @@ StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
   }
 }
 
+void StmRuntime::emitEvent(const ThreadCtx &Ctx, TxEventKind K, AbortCause C,
+                           Addr A, Word V, Word Aux) {
+  // Host-side only: no Ctx device operation may be issued here, so tracing
+  // cannot perturb modeled cycles or counters (the zero-overhead guarantee).
+  TxEvent E;
+  E.Cycle = Dev.now();
+  E.ThreadId = Ctx.globalThreadId();
+  E.Sm = static_cast<uint16_t>(Ctx.smId());
+  E.Kind = K;
+  E.Cause = C;
+  E.Address = A;
+  E.Value = V;
+  E.Aux = Aux;
+  Sink->onTxEvent(E);
+}
+
 void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
   // Coarse-grained locking baseline: serialize every critical section under
   // one global lock.  A ticket lock is SIMT-safe (every thread waits on its
@@ -99,6 +115,9 @@ void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
   // lets the simulator park waiters instead of polling.
   TxDesc &D = descFor(Ctx);
   Tx T(*this, Ctx, D, Tx::ModeT::Direct);
+  if (GPUSTM_UNLIKELY(tracing()))
+    emitEvent(Ctx, TxEventKind::Begin, AbortCause::None, simt::InvalidAddr, 0,
+              0);
   Ctx.setPhase(Phase::Locking);
   Word MyTicket = Ctx.atomicAdd(CglTicketAddr, 1);
   for (;;) {
@@ -114,6 +133,9 @@ void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
   D.LastCommitVersion = static_cast<Word>(++CglSerial);
   Ctx.store(CglServingAddr, MyTicket + 1);
   ++Counters.Commits;
+  if (GPUSTM_UNLIKELY(tracing()))
+    emitEvent(Ctx, TxEventKind::Commit, AbortCause::None, simt::InvalidAddr, 0,
+              D.LastCommitVersion);
   Ctx.setPhase(Phase::Native);
 }
 
@@ -212,17 +234,28 @@ void StmRuntime::transaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
     Ctx.txMarkBegin();
     Tx T(*this, Ctx, D, Tx::ModeT::Instrumented);
     T.begin();
+    if (GPUSTM_UNLIKELY(tracing()))
+      emitEvent(Ctx, TxEventKind::Begin, AbortCause::None, simt::InvalidAddr,
+                0, D.Snapshot);
     Body(T);
     bool Committed = T.valid() && T.commit();
     Ctx.txMarkEnd(Committed);
     if (Committed) {
       ++Counters.Commits;
       ++SchedWindowCommits;
+      if (GPUSTM_UNLIKELY(tracing()))
+        emitEvent(Ctx, TxEventKind::Commit, AbortCause::None, simt::InvalidAddr,
+                  D.WriteCount, D.WriteCount ? D.LastCommitVersion : 0);
       if (Config.AdaptiveLocking)
         lockingController();
     } else {
       ++Counters.Aborts;
       ++SchedWindowAborts;
+      if (GPUSTM_UNLIKELY(tracing()))
+        emitEvent(Ctx, TxEventKind::Abort,
+                  D.LastAbort == AbortCause::None ? AbortCause::Explicit
+                                                  : D.LastAbort,
+                  simt::InvalidAddr, 0, 0);
     }
     if (Scheduled) {
       schedulerRelease(Ctx);

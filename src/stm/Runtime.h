@@ -34,6 +34,7 @@
 #include "stm/Bloom.h"
 #include "stm/Config.h"
 #include "stm/LockLog.h"
+#include "stm/TxEvents.h"
 #include "stm/TxLogs.h"
 #include "support/FunctionRef.h"
 #include "support/Stats.h"
@@ -57,6 +58,9 @@ struct TxDesc {
   /// Clock/sequence value of the last successful commit: the transaction's
   /// serialization order (used by the serializability-replay tests).
   Word LastCommitVersion = 0;
+  /// Why the current attempt went invalid (event tracing's cause enum;
+  /// reset by begin(), read by the transaction() retry loop on abort).
+  AbortCause LastAbort = AbortCause::None;
   BloomFilter WriteBloom;
   LockLog Locks;
   LogView ReadAddrs, ReadVals, WriteAddrs, WriteVals;
@@ -126,6 +130,13 @@ public:
   /// AdaptiveLocking).
   CommitLocking currentLocking() const { return CurrentLocking; }
 
+  /// Install (or clear, with nullptr) a transaction-event sink.  Emission
+  /// is host-side only: no simulated device operation is issued for it, so
+  /// modeled cycles and counters are unchanged by tracing.
+  void setEventSink(TxEventSink *S) { Sink = S; }
+  /// True when a sink is installed (the emit points' cold-path guard).
+  bool tracing() const { return Sink != nullptr; }
+
 private:
   friend class Tx;
 
@@ -134,6 +145,10 @@ private:
   }
 
   void cglTransaction(simt::ThreadCtx &Ctx, function_ref<void(Tx &)> Body);
+
+  /// Deliver one event to the sink (callers guard with tracing()).
+  void emitEvent(const simt::ThreadCtx &Ctx, TxEventKind K, AbortCause C,
+                 simt::Addr A, Word V, Word Aux);
 
   /// Transaction scheduler (Section 4.2 future work): slot claim/release
   /// around a transaction, plus the host-side feedback controller that
@@ -165,6 +180,7 @@ private:
 
   std::vector<TxDesc> Descs;
   StmCounters Counters;
+  TxEventSink *Sink = nullptr;
   /// Host-side serial number for CGL critical sections (they are totally
   /// ordered by the single lock).
   uint64_t CglSerial = 0;

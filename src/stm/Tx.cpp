@@ -23,6 +23,7 @@ void Tx::begin() {
   Ctx.setPhase(Phase::TxInit);
   Desc.ReadCount = 0;
   Desc.WriteCount = 0;
+  Desc.LastAbort = AbortCause::None;
   Desc.WriteBloom.clear();
   Desc.TxLocking = Rt.CurrentLocking;
   if (Rt.Config.AdaptiveLocking)
@@ -49,8 +50,12 @@ void Tx::begin() {
 }
 
 Word Tx::read(Addr A) {
-  if (Mode == ModeT::Direct)
-    return Ctx.load(A);
+  if (Mode == ModeT::Direct) {
+    Word V = Ctx.load(A);
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::Read, AbortCause::None, A, V, 0);
+    return V;
+  }
   assert(Desc.Valid && "reading in an aborted transaction");
   ++Rt.Counters.TxReads;
 
@@ -61,6 +66,8 @@ Word Tx::read(Addr A) {
       if (Ctx.load(writeAddrSlot(I)) == A) {
         Word V = Ctx.load(writeValSlot(I));
         Ctx.setPhase(Phase::Native);
+        if (GPUSTM_UNLIKELY(Rt.tracing()))
+          Rt.emitEvent(Ctx, TxEventKind::Read, AbortCause::None, A, V, 1);
         return V;
       }
     }
@@ -82,11 +89,20 @@ Word Tx::read(Addr A) {
   if (Rt.Val == Validation::VBV) {
     // NOrec: revalidate by value whenever the sequence lock moved.
     Word S = Ctx.load(Rt.SeqLockAddr);
-    if (S != Desc.Snapshot && !norecPostValidate()) {
-      Desc.Valid = false;
-      ++Rt.Counters.AbortsReadValidation;
+    if (S != Desc.Snapshot) {
+      bool Pass = norecPostValidate();
+      if (!Pass) {
+        Desc.Valid = false;
+        Desc.LastAbort = AbortCause::ReadValidationFail;
+        ++Rt.Counters.AbortsReadValidation;
+      }
+      if (GPUSTM_UNLIKELY(Rt.tracing()))
+        Rt.emitEvent(Ctx, TxEventKind::ReadValidation, AbortCause::None, A, S,
+                     Pass ? 1 : 0);
     }
     Ctx.setPhase(Phase::Native);
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::Read, AbortCause::None, A, Val, 0);
     return Val;
   }
 
@@ -106,6 +122,7 @@ Word Tx::read(Addr A) {
     if (Rt.Val == Validation::HV) {
       if (!postValidation(Version)) { // line 32
         Desc.Valid = false;           // line 33
+        Desc.LastAbort = AbortCause::ReadValidationFail;
         ++Rt.Counters.AbortsReadValidation;
       } else {
         // The timestamp said "conflict" but the values say otherwise: a
@@ -115,8 +132,12 @@ Word Tx::read(Addr A) {
     } else {
       // Pure TBV (TL2-style): a stale snapshot is fatal.
       Desc.Valid = false;
+      Desc.LastAbort = AbortCause::ReadStaleSnapshot;
       ++Rt.Counters.AbortsReadValidation;
     }
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::ReadValidation, AbortCause::None, A,
+                   Version, Desc.Valid ? 1 : 0);
   }
 
   if (Desc.Valid) {
@@ -125,16 +146,22 @@ Word Tx::read(Addr A) {
     Desc.Locks.insert(Ctx, LockIdx, /*Wr=*/false, /*Rd=*/true);
   }
   Ctx.setPhase(Phase::Native);
+  if (GPUSTM_UNLIKELY(Rt.tracing()))
+    Rt.emitEvent(Ctx, TxEventKind::Read, AbortCause::None, A, Val, 0);
   return Val; // line 35
 }
 
 void Tx::write(Addr A, Word V) {
   if (Mode == ModeT::Direct) {
     Ctx.store(A, V);
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::Write, AbortCause::None, A, V, 0);
     return;
   }
   assert(Desc.Valid && "writing in an aborted transaction");
   ++Rt.Counters.TxWrites;
+  if (GPUSTM_UNLIKELY(Rt.tracing()))
+    Rt.emitEvent(Ctx, TxEventKind::Write, AbortCause::None, A, V, 0);
   Ctx.setPhase(Phase::Buffering);
 
   // Line 37 (set union semantics): update in place when already buffered.
@@ -202,12 +229,14 @@ bool Tx::vbv() {
 bool Tx::getLocksAndTBV(Word *FailedLock) {
   unsigned Acquired = 0;
   bool Failed = false;
+  Word FailedIdx = 0;
   Desc.Locks.forEachUntil(
       Ctx, Desc.Locks.size(), [&](Word Idx, bool Wr, bool Rd) {
         (void)Wr;
         Word VL = Ctx.atomicOr(Rt.lockWordAddr(Idx), 1); // line 45
         if (lockBit(VL)) {                               // line 46
           Failed = true;
+          FailedIdx = Idx;
           if (FailedLock)
             *FailedLock = Idx;
           return false;
@@ -220,8 +249,14 @@ bool Tx::getLocksAndTBV(Word *FailedLock) {
   if (Failed) {
     releaseLocks(Acquired); // line 47
     ++Rt.Counters.LockFailures;
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::LockFail, AbortCause::None, FailedIdx, 0,
+                   Acquired);
     return false;
   }
+  if (GPUSTM_UNLIKELY(Rt.tracing()))
+    Rt.emitEvent(Ctx, TxEventKind::LockAcquire, AbortCause::None,
+                 simt::InvalidAddr, 0, Desc.Locks.size());
   return true; // line 52
 }
 
@@ -254,6 +289,7 @@ bool Tx::validateAndWriteBack() {
     if (!Ok) {
       Ctx.setPhase(Phase::Locking);
       releaseLocks(Desc.Locks.size()); // line 77
+      Desc.LastAbort = AbortCause::CommitValidationFail;
       ++Rt.Counters.AbortsCommitValidation;
       return false; // line 78
     }
@@ -278,6 +314,7 @@ bool Tx::commitSorted() {
     if (Rt.Config.PreLockValidation && Rt.Val == Validation::HV) {
       Ctx.setPhase(Phase::Commit);
       if (!vbv()) { // lines 71-72 (optional, reduces lock contention)
+        Desc.LastAbort = AbortCause::CommitValidationFail;
         ++Rt.Counters.AbortsCommitValidation;
         return false;
       }
@@ -304,6 +341,7 @@ bool Tx::commitBackoff() {
   if (Rt.Config.PreLockValidation && Rt.Val == Validation::HV) {
     Ctx.setPhase(Phase::Commit);
     if (!vbv()) { // Same optional line-71 filter commitSorted applies.
+      Desc.LastAbort = AbortCause::CommitValidationFail;
       ++Rt.Counters.AbortsCommitValidation;
       return false;
     }
@@ -367,13 +405,20 @@ bool Tx::norecCommit() {
   while (Ctx.atomicCAS(Rt.SeqLockAddr, Desc.Snapshot, Desc.Snapshot + 1) !=
          Desc.Snapshot) {
     ++Rt.Counters.LockFailures;
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::LockFail, AbortCause::None,
+                   simt::InvalidAddr, 0, 0);
     Ctx.setPhase(Phase::Consistency);
     if (!norecPostValidate()) {
+      Desc.LastAbort = AbortCause::CommitValidationFail;
       ++Rt.Counters.AbortsCommitValidation;
       return false;
     }
     Ctx.setPhase(Phase::Locking);
   }
+  if (GPUSTM_UNLIKELY(Rt.tracing()))
+    Rt.emitEvent(Ctx, TxEventKind::LockAcquire, AbortCause::None,
+                 simt::InvalidAddr, 0, 1);
   Ctx.setPhase(Phase::Commit);
   for (unsigned I = 0; I < Desc.WriteCount; ++I) {
     Addr A = Ctx.load(writeAddrSlot(I));

@@ -6,7 +6,9 @@
 
 #include "support/EnvOptions.h"
 
+#include <cctype>
 #include <cstdlib>
+#include <cstring>
 
 namespace gpustm {
 
@@ -18,7 +20,28 @@ uint64_t envUnsigned(const char *Name, uint64_t Default) {
   unsigned long long Parsed = std::strtoull(Value, &End, 0);
   if (End == Value)
     return Default;
+  // Reject trailing garbage ("8x" must not silently parse as 8); trailing
+  // whitespace is tolerated.
+  while (std::isspace(static_cast<unsigned char>(*End)))
+    ++End;
+  if (*End != '\0')
+    return Default;
   return Parsed;
+}
+
+bool envBool(const char *Name, bool Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  std::string Lower;
+  for (const char *P = Value; *P; ++P)
+    Lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*P))));
+  if (Lower == "1" || Lower == "true" || Lower == "yes" || Lower == "on")
+    return true;
+  if (Lower == "0" || Lower == "false" || Lower == "no" || Lower == "off")
+    return false;
+  return Default;
 }
 
 std::string envString(const char *Name, const std::string &Default) {

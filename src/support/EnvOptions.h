@@ -20,8 +20,13 @@
 namespace gpustm {
 
 /// Read an unsigned integer from the environment, or \p Default when the
-/// variable is unset or unparsable.
+/// variable is unset or not fully parsable (trailing garbage such as
+/// GPUSTM_SCALE=8x is rejected rather than silently read as 8).
 uint64_t envUnsigned(const char *Name, uint64_t Default);
+
+/// Read a boolean from the environment, or \p Default when unset or
+/// unrecognized.  Accepts 1/0, true/false, yes/no, on/off (any case).
+bool envBool(const char *Name, bool Default);
 
 /// Read a string from the environment, or \p Default when unset.
 std::string envString(const char *Name, const std::string &Default);

@@ -1,0 +1,188 @@
+//===- trace/Analysis.cpp - Trace analysis reports ------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Analysis.h"
+#include "trace/Checker.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace gpustm;
+using namespace gpustm::trace;
+using simt::Addr;
+using stm::AbortCause;
+using stm::TxEvent;
+using stm::TxEventKind;
+
+TraceReport gpustm::trace::analyzeTrace(const TxTrace &T, size_t TopN) {
+  TraceReport Rep;
+
+  // Event-level tallies first: these survive a structurally broken trace.
+  std::unordered_map<Addr, AddrStats> ByAddr;
+  std::unordered_map<uint64_t, uint64_t> ByLock;
+  for (const TxEvent &E : T.Events) {
+    switch (E.Kind) {
+    case TxEventKind::Read:
+      ++ByAddr[E.Address].Reads;
+      break;
+    case TxEventKind::Write:
+      ++ByAddr[E.Address].Writes;
+      break;
+    case TxEventKind::ReadValidation:
+      if (!E.Aux)
+        ++ByAddr[E.Address].FailedValidations;
+      break;
+    case TxEventKind::LockFail:
+      ++Rep.LockFailures;
+      if (E.Address != simt::InvalidAddr)
+        ++ByLock[E.Address];
+      break;
+    case TxEventKind::Abort:
+      ++Rep.AbortsByCause[static_cast<unsigned>(E.Cause)];
+      break;
+    default:
+      break;
+    }
+  }
+
+  Rep.HotAddrs.reserve(ByAddr.size());
+  for (auto &[A, S] : ByAddr) {
+    S.Address = A;
+    Rep.HotAddrs.push_back(S);
+  }
+  std::sort(Rep.HotAddrs.begin(), Rep.HotAddrs.end(),
+            [](const AddrStats &A, const AddrStats &B) {
+              if (A.touches() != B.touches())
+                return A.touches() > B.touches();
+              return A.Address < B.Address;
+            });
+  if (Rep.HotAddrs.size() > TopN)
+    Rep.HotAddrs.resize(TopN);
+
+  Rep.HotLocks.assign(ByLock.begin(), ByLock.end());
+  std::sort(Rep.HotLocks.begin(), Rep.HotLocks.end(),
+            [](const std::pair<uint64_t, uint64_t> &A,
+               const std::pair<uint64_t, uint64_t> &B) {
+              if (A.second != B.second)
+                return A.second > B.second;
+              return A.first < B.first;
+            });
+  if (Rep.HotLocks.size() > TopN)
+    Rep.HotLocks.resize(TopN);
+
+  // Attempt-level accounting needs well-bracketed events.
+  std::vector<TxAttempt> Attempts;
+  CheckResult Split;
+  if (splitAttempts(T, Attempts, Split)) {
+    Rep.Attempts = Attempts.size();
+    for (const TxAttempt &A : Attempts) {
+      uint64_t Span =
+          T.Events[A.EndIdx].Cycle - T.Events[A.BeginIdx].Cycle;
+      if (A.Committed) {
+        ++Rep.Commits;
+        if (A.Writes.empty())
+          ++Rep.ReadOnlyCommits;
+        Rep.CommittedCycles += Span;
+      } else {
+        ++Rep.Aborts;
+        Rep.WastedCycles += Span;
+      }
+      while (Rep.Kernels.size() <= A.Kernel)
+        Rep.Kernels.push_back(KernelStats());
+      if (A.Committed)
+        ++Rep.Kernels[A.Kernel].Commits;
+      else
+        ++Rep.Kernels[A.Kernel].Aborts;
+    }
+  }
+
+  const stm::StmCounters &C = T.Meta.Counters;
+  uint64_t ReadAborts =
+      Rep.AbortsByCause[static_cast<unsigned>(AbortCause::ReadStaleSnapshot)] +
+      Rep.AbortsByCause[static_cast<unsigned>(AbortCause::ReadValidationFail)];
+  uint64_t CauseTotal = 0;
+  for (uint64_t N : Rep.AbortsByCause)
+    CauseTotal += N;
+  Rep.CausesMatchCounters =
+      CauseTotal == C.Aborts && ReadAborts == C.AbortsReadValidation &&
+      Rep.AbortsByCause[static_cast<unsigned>(
+          AbortCause::CommitValidationFail)] == C.AbortsCommitValidation;
+  return Rep;
+}
+
+void gpustm::trace::printReport(std::FILE *Out, const TxTrace &T,
+                                const TraceReport &Rep) {
+  const TraceMeta &M = T.Meta;
+  std::fprintf(Out, "== stmtrace report: %s / %s ==\n", M.Workload.c_str(),
+               stm::variantName(M.Kind));
+  std::fprintf(Out,
+               "launch %ux%u, %u SMs, %u kernel(s), %llu cycles, "
+               "%zu tx events\n",
+               M.GridDim, M.BlockDim, M.NumSMs, M.NumKernels,
+               static_cast<unsigned long long>(M.TotalCycles),
+               T.Events.size());
+
+  std::fprintf(Out, "\nattempts %llu: %llu committed (%llu read-only), "
+                    "%llu aborted\n",
+               static_cast<unsigned long long>(Rep.Attempts),
+               static_cast<unsigned long long>(Rep.Commits),
+               static_cast<unsigned long long>(Rep.ReadOnlyCommits),
+               static_cast<unsigned long long>(Rep.Aborts));
+
+  std::fprintf(Out, "\nabort causes (harness counted %llu aborts%s):\n",
+               static_cast<unsigned long long>(M.Counters.Aborts),
+               Rep.CausesMatchCounters ? ", attribution reconciles"
+                                       : " -- ATTRIBUTION MISMATCH");
+  for (unsigned I = 1; I < 5; ++I) {
+    if (!Rep.AbortsByCause[I])
+      continue;
+    std::fprintf(Out, "  %-18s %llu\n",
+                 stm::abortCauseName(static_cast<AbortCause>(I)),
+                 static_cast<unsigned long long>(Rep.AbortsByCause[I]));
+  }
+  if (!Rep.Aborts)
+    std::fprintf(Out, "  (none)\n");
+
+  uint64_t TotalTxCycles = Rep.WastedCycles + Rep.CommittedCycles;
+  std::fprintf(Out,
+               "\nwasted work: %llu of %llu attempt-span cycles "
+               "(%.1f%%, spans overlap across warps) spent in aborted "
+               "attempts\n",
+               static_cast<unsigned long long>(Rep.WastedCycles),
+               static_cast<unsigned long long>(TotalTxCycles),
+               TotalTxCycles
+                   ? 100.0 * static_cast<double>(Rep.WastedCycles) /
+                         static_cast<double>(TotalTxCycles)
+                   : 0.0);
+  std::fprintf(Out, "lock failures: %llu\n",
+               static_cast<unsigned long long>(Rep.LockFailures));
+
+  if (!Rep.HotAddrs.empty()) {
+    std::fprintf(Out, "\nhottest addresses (reads/writes/failed-validations):"
+                      "\n");
+    for (const AddrStats &S : Rep.HotAddrs)
+      std::fprintf(Out, "  @%-10u %6llu / %6llu / %6llu\n", S.Address,
+                   static_cast<unsigned long long>(S.Reads),
+                   static_cast<unsigned long long>(S.Writes),
+                   static_cast<unsigned long long>(S.FailedValidations));
+  }
+  if (!Rep.HotLocks.empty()) {
+    std::fprintf(Out, "\nhottest contended locks (index: failures):\n");
+    for (const auto &[Lock, Fails] : Rep.HotLocks)
+      std::fprintf(Out, "  #%-10llu %6llu\n",
+                   static_cast<unsigned long long>(Lock),
+                   static_cast<unsigned long long>(Fails));
+  }
+  if (Rep.Kernels.size() > 1) {
+    std::fprintf(Out, "\nper-kernel attribution:\n");
+    for (size_t K = 0; K < Rep.Kernels.size(); ++K)
+      std::fprintf(Out, "  kernel %zu: %llu commits, %llu aborts\n", K,
+                   static_cast<unsigned long long>(Rep.Kernels[K].Commits),
+                   static_cast<unsigned long long>(Rep.Kernels[K].Aborts));
+  }
+}

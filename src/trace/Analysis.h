@@ -1,0 +1,76 @@
+//===- trace/Analysis.h - Trace analysis reports ----------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-mortem analysis over a recorded TxTrace: abort-cause attribution,
+/// wasted-work accounting (cycles spent inside attempts that aborted), and
+/// per-address contention heatmaps (which words drew the reads, writes, and
+/// failed validations).  Backs `stmtrace report`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_TRACE_ANALYSIS_H
+#define GPUSTM_TRACE_ANALYSIS_H
+
+#include "trace/Trace.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace gpustm {
+namespace trace {
+
+/// Contention record for one word address.
+struct AddrStats {
+  simt::Addr Address = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t FailedValidations = 0;
+
+  uint64_t touches() const { return Reads + Writes + FailedValidations; }
+};
+
+/// Per-kernel commit/abort attribution.
+struct KernelStats {
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+};
+
+/// Everything `stmtrace report` prints.
+struct TraceReport {
+  uint64_t Attempts = 0;
+  uint64_t Commits = 0;
+  uint64_t ReadOnlyCommits = 0;
+  uint64_t Aborts = 0;
+  /// Indexed by stm::AbortCause.
+  uint64_t AbortsByCause[5] = {};
+  /// Sum over aborted attempts of (end cycle - begin cycle): simulated
+  /// cycles whose transactional work was thrown away.
+  uint64_t WastedCycles = 0;
+  /// Same sum over committed attempts, for the wasted-work ratio.
+  uint64_t CommittedCycles = 0;
+  uint64_t LockFailures = 0;
+  /// Hottest addresses by total transactional touches, descending.
+  std::vector<AddrStats> HotAddrs;
+  /// Hottest failed lock indices (LockFail events), descending.
+  std::vector<std::pair<uint64_t, uint64_t>> HotLocks; ///< (lock idx, fails)
+  std::vector<KernelStats> Kernels;
+  /// Whether per-cause attribution reconciles with the recorded
+  /// StmCounters (a cheap subset of the full checker).
+  bool CausesMatchCounters = false;
+};
+
+/// Build a report; keeps the \p TopN hottest addresses and lock indices.
+/// Best-effort: a structurally broken trace still yields event-level tallies.
+TraceReport analyzeTrace(const TxTrace &T, size_t TopN = 10);
+
+/// Pretty-print \p Report for \p T to \p Out.
+void printReport(std::FILE *Out, const TxTrace &T, const TraceReport &Report);
+
+} // namespace trace
+} // namespace gpustm
+
+#endif // GPUSTM_TRACE_ANALYSIS_H

@@ -1,0 +1,406 @@
+//===- trace/Checker.cpp - Offline trace checker --------------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Checker.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+using namespace gpustm;
+using namespace gpustm::trace;
+using simt::Addr;
+using simt::Word;
+using stm::AbortCause;
+using stm::TxEvent;
+using stm::TxEventKind;
+
+const char *gpustm::trace::checkStatusName(CheckStatus S) {
+  switch (S) {
+  case CheckStatus::Ok:
+    return "ok";
+  case CheckStatus::Structural:
+    return "structural";
+  case CheckStatus::CounterMismatch:
+    return "counter-mismatch";
+  case CheckStatus::SerializabilityViolation:
+    return "serializability-violation";
+  case CheckStatus::OpacityViolation:
+    return "opacity-violation";
+  }
+  return "invalid";
+}
+
+static CheckResult fail(CheckStatus Status, std::string Message) {
+  CheckResult R;
+  R.Status = Status;
+  R.Message = std::move(Message);
+  return R;
+}
+
+bool gpustm::trace::splitAttempts(const TxTrace &T, std::vector<TxAttempt> &Out,
+                                  CheckResult &R) {
+  // Thread id -> index into Out of the open attempt (or npos).
+  constexpr size_t NoAttempt = ~size_t(0);
+  std::unordered_map<uint32_t, size_t> Open;
+
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    const TxEvent &E = T.Events[I];
+    auto It = Open.find(E.ThreadId);
+    size_t Cur = It == Open.end() ? NoAttempt : It->second;
+
+    if (E.Kind == TxEventKind::Begin) {
+      if (Cur != NoAttempt) {
+        R = fail(CheckStatus::Structural,
+                 formatString("thread %u: begin (event %zu) inside an open "
+                              "attempt (event %zu has no commit/abort)",
+                              E.ThreadId, I, Out[Cur].BeginIdx));
+        return false;
+      }
+      TxAttempt A;
+      A.ThreadId = E.ThreadId;
+      A.Kernel = E.Kernel;
+      A.BeginIdx = I;
+      Open[E.ThreadId] = Out.size();
+      Out.push_back(std::move(A));
+      continue;
+    }
+
+    if (Cur == NoAttempt) {
+      R = fail(CheckStatus::Structural,
+               formatString("thread %u: %s event %zu outside any attempt",
+                            E.ThreadId, txEventKindName(E.Kind), I));
+      return false;
+    }
+    TxAttempt &A = Out[Cur];
+    switch (E.Kind) {
+    case TxEventKind::Read:
+      A.Reads.push_back(I);
+      break;
+    case TxEventKind::Write:
+      A.Writes.push_back(I);
+      break;
+    case TxEventKind::ReadValidation:
+    case TxEventKind::LockAcquire:
+    case TxEventKind::LockFail:
+      break;
+    case TxEventKind::Commit:
+      A.Committed = true;
+      A.Version = E.Aux;
+      A.EndIdx = I;
+      Open.erase(E.ThreadId);
+      break;
+    case TxEventKind::Abort:
+      if (E.Cause == AbortCause::None) {
+        R = fail(CheckStatus::Structural,
+                 formatString("thread %u: abort event %zu carries no cause",
+                              E.ThreadId, I));
+        return false;
+      }
+      A.Committed = false;
+      A.Cause = E.Cause;
+      A.EndIdx = I;
+      Open.erase(E.ThreadId);
+      break;
+    case TxEventKind::Begin:
+      break; // handled above
+    }
+  }
+
+  if (!Open.empty()) {
+    uint32_t Tid = Open.begin()->first;
+    R = fail(CheckStatus::Structural,
+             formatString("thread %u: attempt at event %zu has no "
+                          "commit/abort (dropped terminal event?)",
+                          Tid, Out[Open.begin()->second].BeginIdx));
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Per-address committed-write history: (version, value) in ascending
+/// version order, preceded implicitly by the initial-image value.
+using AddrHistory = std::unordered_map<Addr, std::vector<std::pair<uint64_t, Word>>>;
+
+constexpr uint64_t VersionInf = ~uint64_t(0);
+
+/// Half-open version intervals [lo, hi).
+using Intervals = std::vector<std::pair<uint64_t, uint64_t>>;
+
+/// Intervals of t where state(A, t) == V, given A's history and initial
+/// value.
+Intervals matchIntervals(const std::vector<std::pair<uint64_t, Word>> *H,
+                         Word Initial, Word V) {
+  Intervals Out;
+  uint64_t SegStart = 0;
+  Word SegVal = Initial;
+  if (H) {
+    for (const auto &[Ver, Val] : *H) {
+      if (SegVal == V && SegStart < Ver)
+        Out.push_back({SegStart, Ver});
+      SegStart = Ver;
+      SegVal = Val;
+    }
+  }
+  if (SegVal == V)
+    Out.push_back({SegStart, VersionInf});
+  return Out;
+}
+
+Intervals intersect(const Intervals &A, const Intervals &B) {
+  Intervals Out;
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    uint64_t Lo = std::max(A[I].first, B[J].first);
+    uint64_t Hi = std::min(A[I].second, B[J].second);
+    if (Lo < Hi)
+      Out.push_back({Lo, Hi});
+    if (A[I].second < B[J].second)
+      ++I;
+    else
+      ++J;
+  }
+  return Out;
+}
+
+} // namespace
+
+CheckResult gpustm::trace::checkTrace(const TxTrace &T) {
+  std::vector<TxAttempt> Attempts;
+  CheckResult R;
+  if (!splitAttempts(T, Attempts, R))
+    return R;
+  R.Attempts = Attempts.size();
+
+  //===------------------------------------------------------------------===//
+  // Counter reconciliation: the event stream must explain every recorded
+  // counter (per-cause abort attribution sums to the aggregates).
+  //===------------------------------------------------------------------===//
+  uint64_t Commits = 0, ReadOnly = 0, Aborts = 0;
+  uint64_t CauseCounts[5] = {};
+  for (const TxAttempt &A : Attempts) {
+    if (A.Committed) {
+      ++Commits;
+      if (A.Writes.empty())
+        ++ReadOnly;
+    } else {
+      ++Aborts;
+      ++CauseCounts[static_cast<unsigned>(A.Cause)];
+    }
+  }
+  uint64_t ReadEvents = 0, WriteEvents = 0, ReadVal = 0, ReadValPass = 0,
+           LockFails = 0;
+  for (const TxEvent &E : T.Events) {
+    switch (E.Kind) {
+    case TxEventKind::Read:
+      ++ReadEvents;
+      break;
+    case TxEventKind::Write:
+      ++WriteEvents;
+      break;
+    case TxEventKind::ReadValidation:
+      ++ReadVal;
+      ReadValPass += E.Aux ? 1 : 0;
+      break;
+    case TxEventKind::LockFail:
+      ++LockFails;
+      break;
+    default:
+      break;
+    }
+  }
+
+  const stm::StmCounters &C = T.Meta.Counters;
+  auto counterMismatch = [&](const char *What, uint64_t FromEvents,
+                             uint64_t FromCounters) {
+    return fail(CheckStatus::CounterMismatch,
+                formatString("%s: %llu from events vs %llu recorded",
+                             What,
+                             static_cast<unsigned long long>(FromEvents),
+                             static_cast<unsigned long long>(FromCounters)));
+  };
+  if (Commits != C.Commits)
+    return counterMismatch("commits", Commits, C.Commits);
+  if (Aborts != C.Aborts)
+    return counterMismatch("aborts", Aborts, C.Aborts);
+  uint64_t ReadAborts =
+      CauseCounts[static_cast<unsigned>(AbortCause::ReadStaleSnapshot)] +
+      CauseCounts[static_cast<unsigned>(AbortCause::ReadValidationFail)];
+  if (ReadAborts != C.AbortsReadValidation)
+    return counterMismatch("read-validation abort causes", ReadAborts,
+                           C.AbortsReadValidation);
+  uint64_t CommitAborts =
+      CauseCounts[static_cast<unsigned>(AbortCause::CommitValidationFail)];
+  if (CommitAborts != C.AbortsCommitValidation)
+    return counterMismatch("commit-validation abort causes", CommitAborts,
+                           C.AbortsCommitValidation);
+  if (LockFails != C.LockFailures)
+    return counterMismatch("lock failures", LockFails, C.LockFailures);
+  if (T.Meta.Kind != stm::Variant::CGL) {
+    // CGL's direct-mode accesses bypass the TxReads/TxWrites counters.
+    if (ReadEvents != C.TxReads)
+      return counterMismatch("tx reads", ReadEvents, C.TxReads);
+    if (WriteEvents != C.TxWrites)
+      return counterMismatch("tx writes", WriteEvents, C.TxWrites);
+    if (ReadOnly != C.ReadOnlyCommits)
+      return counterMismatch("read-only commits", ReadOnly,
+                             C.ReadOnlyCommits);
+    if (T.Meta.Val != stm::Validation::VBV) {
+      if (ReadVal != C.StaleSnapshots)
+        return counterMismatch("read validations", ReadVal, C.StaleSnapshots);
+      if (ReadValPass != C.FalseConflictsAvoided)
+        return counterMismatch("false conflicts avoided", ReadValPass,
+                               C.FalseConflictsAvoided);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Serializability: replay update commits in version order over the
+  // initial image; every transactionally-written address must match the
+  // final image.
+  //===------------------------------------------------------------------===//
+  std::vector<const TxAttempt *> Updates;
+  for (const TxAttempt &A : Attempts)
+    if (A.Committed && !A.Writes.empty())
+      Updates.push_back(&A);
+  for (const TxAttempt *A : Updates)
+    if (A->Version == 0)
+      return fail(CheckStatus::Structural,
+                  formatString("thread %u: update commit (event %zu) has no "
+                               "commit version",
+                               A->ThreadId, A->EndIdx));
+  std::stable_sort(Updates.begin(), Updates.end(),
+                   [](const TxAttempt *A, const TxAttempt *B) {
+                     return A->Version < B->Version;
+                   });
+  for (size_t I = 1; I < Updates.size(); ++I)
+    if (Updates[I]->Version == Updates[I - 1]->Version)
+      return fail(CheckStatus::Structural,
+                  formatString("duplicate commit version %llu (threads %u "
+                               "and %u)",
+                               static_cast<unsigned long long>(
+                                   Updates[I]->Version),
+                               Updates[I - 1]->ThreadId,
+                               Updates[I]->ThreadId));
+
+  if (T.Initial.Words.size() != T.Final.Words.size() ||
+      T.Initial.Base != T.Final.Base)
+    return fail(CheckStatus::Structural,
+                "initial and final memory images have different extents");
+
+  std::vector<Word> Img = T.Initial.Words;
+  std::vector<uint8_t> Written(Img.size(), 0);
+  AddrHistory History;
+  for (const TxAttempt *A : Updates) {
+    for (size_t EvIdx : A->Writes) {
+      const TxEvent &E = T.Events[EvIdx];
+      if (!T.Initial.contains(E.Address))
+        return fail(CheckStatus::Structural,
+                    formatString("thread %u: write to address %u outside "
+                                 "the recorded image",
+                                 A->ThreadId, E.Address));
+      size_t Off = E.Address - T.Initial.Base;
+      Img[Off] = E.Value;
+      Written[Off] = 1;
+      // Per-address history for the opacity phase; a later write by the
+      // same commit to the same address supersedes the earlier one.
+      auto &H = History[E.Address];
+      if (!H.empty() && H.back().first == A->Version)
+        H.back().second = E.Value;
+      else
+        H.push_back({A->Version, E.Value});
+    }
+    ++R.CommitsReplayed;
+  }
+  for (size_t Off = 0; Off < Img.size(); ++Off) {
+    if (!Written[Off])
+      continue;
+    Word Actual = T.Final.Words[Off];
+    if (Img[Off] != Actual)
+      return fail(
+          CheckStatus::SerializabilityViolation,
+          formatString("address %u: replay in commit-version order gives %u "
+                       "but the final image holds %u (reordered or torn "
+                       "commit?)",
+                       static_cast<Addr>(Off + T.Initial.Base), Img[Off],
+                       Actual));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Opacity: every attempt's retained reads must be simultaneously
+  // explainable at some commit point t (interval intersection over the
+  // per-address version histories).
+  //===------------------------------------------------------------------===//
+  for (const TxAttempt &A : Attempts) {
+    std::unordered_map<Addr, Word> OwnWrites;
+    // (address, value, event index) of reads that went to global memory.
+    std::vector<std::pair<Addr, Word>> GlobalReads;
+    size_t RI = 0, WI = 0;
+    while (RI < A.Reads.size() || WI < A.Writes.size()) {
+      bool TakeRead = WI >= A.Writes.size() ||
+                      (RI < A.Reads.size() && A.Reads[RI] < A.Writes[WI]);
+      if (TakeRead) {
+        const TxEvent &E = T.Events[A.Reads[RI++]];
+        auto It = OwnWrites.find(E.Address);
+        if (It != OwnWrites.end()) {
+          if (E.Value != It->second)
+            return fail(CheckStatus::OpacityViolation,
+                        formatString("thread %u: read of address %u returned "
+                                     "%u, not the transaction's own buffered "
+                                     "write %u",
+                                     A.ThreadId, E.Address, E.Value,
+                                     It->second));
+        } else {
+          GlobalReads.push_back({E.Address, E.Value});
+        }
+      } else {
+        const TxEvent &E = T.Events[A.Writes[WI++]];
+        OwnWrites[E.Address] = E.Value;
+      }
+    }
+
+    // A read that failed its own read-time validation may legitimately
+    // carry an inconsistent value: the API contract is that the caller
+    // must consult Tx::valid() before using it.  Every earlier read was
+    // (re)validated when it was appended, so the prefix stays checkable.
+    if (!A.Committed && (A.Cause == AbortCause::ReadStaleSnapshot ||
+                         A.Cause == AbortCause::ReadValidationFail) &&
+        !GlobalReads.empty())
+      GlobalReads.pop_back();
+
+    if (GlobalReads.empty())
+      continue;
+    Intervals Feasible{{0, VersionInf}};
+    for (const auto &[ReadAddr, ReadVal2] : GlobalReads) {
+      if (!T.Initial.contains(ReadAddr))
+        return fail(CheckStatus::Structural,
+                    formatString("thread %u: read of address %u outside the "
+                                 "recorded image",
+                                 A.ThreadId, ReadAddr));
+      auto HIt = History.find(ReadAddr);
+      const std::vector<std::pair<uint64_t, Word>> *H =
+          HIt == History.end() ? nullptr : &HIt->second;
+      Feasible =
+          intersect(Feasible, matchIntervals(H, T.Initial.at(ReadAddr),
+                                             ReadVal2));
+      if (Feasible.empty())
+        return fail(
+            CheckStatus::OpacityViolation,
+            formatString("thread %u (kernel %u, %s attempt at event %zu): "
+                         "read values never coexisted at any commit point "
+                         "(first unexplainable: address %u = %u)",
+                         A.ThreadId, A.Kernel,
+                         A.Committed ? "committed" : "aborted", A.BeginIdx,
+                         ReadAddr, ReadVal2));
+    }
+    R.ReadsExplained += GlobalReads.size();
+  }
+
+  return R;
+}

@@ -1,0 +1,97 @@
+//===- trace/Checker.h - Offline trace checker ------------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a recorded TxTrace and verifies, offline, the two correctness
+/// properties DESIGN.md section 5 argues for (generalizing the in-test
+/// oracles of tests/stm/FidelityTest.cpp into library code):
+///
+///  - Serializability: committed transactions, applied in commit-version
+///    order over the initial memory image, reproduce the final image at
+///    every transactionally-written address.
+///  - Opacity: every attempt -- committed or aborted -- observed a
+///    consistent snapshot: there exists a commit point t such that every
+///    value the attempt read (excluding reads of its own writes, which
+///    must return the buffered value) equals the replayed memory state at
+///    t.  For attempts aborted by read-time validation, the final read is
+///    exempt: the API contract is that its value must not be used before
+///    checking Tx::valid().
+///
+/// The checker also reconciles the event stream against the recorded
+/// StmCounters (per-cause abort attribution must sum to the aggregate
+/// counters), which catches dropped or duplicated events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_TRACE_CHECKER_H
+#define GPUSTM_TRACE_CHECKER_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace trace {
+
+/// What a failed check means.
+enum class CheckStatus : uint8_t {
+  Ok,
+  /// Malformed event stream: unbalanced begin/commit/abort brackets,
+  /// missing commit versions, out-of-image addresses (e.g. a dropped
+  /// commit event).
+  Structural,
+  /// Event stream does not reconcile with the recorded StmCounters (e.g. a
+  /// dropped read event or mislabeled abort cause).
+  CounterMismatch,
+  /// Commit-version-order replay does not reproduce the final image (e.g.
+  /// reordered commit timestamps or a torn write value).
+  SerializabilityViolation,
+  /// Some attempt observed values that never coexisted at any commit point
+  /// (an inconsistent snapshot a live transaction acted on).
+  OpacityViolation,
+};
+
+const char *checkStatusName(CheckStatus S);
+
+/// One transaction attempt reconstructed from the event stream.
+struct TxAttempt {
+  uint32_t ThreadId = 0;
+  uint16_t Kernel = 0;
+  size_t BeginIdx = 0; ///< Index of the Begin event in TxTrace::Events.
+  size_t EndIdx = 0;   ///< Index of the Commit/Abort event.
+  bool Committed = false;
+  stm::AbortCause Cause = stm::AbortCause::None;
+  uint64_t Version = 0; ///< Commit version (0 for read-only commits).
+  std::vector<size_t> Reads;  ///< Read event indices, program order.
+  std::vector<size_t> Writes; ///< Write event indices, program order.
+};
+
+/// Outcome of checkTrace.
+struct CheckResult {
+  CheckStatus Status = CheckStatus::Ok;
+  std::string Message; ///< Cause-specific diagnostic when not Ok.
+  uint64_t Attempts = 0;
+  uint64_t CommitsReplayed = 0;
+  uint64_t ReadsExplained = 0;
+
+  bool ok() const { return Status == CheckStatus::Ok; }
+};
+
+/// Reconstruct per-thread attempts from the event stream.  Returns false
+/// (with a Structural diagnostic in \p R) on a malformed stream; \p Out
+/// holds the attempts parsed so far either way.
+bool splitAttempts(const TxTrace &T, std::vector<TxAttempt> &Out,
+                   CheckResult &R);
+
+/// Run the full check: structure, counter reconciliation, serializability
+/// replay, opacity.  Diagnostics name the first violation found.
+CheckResult checkTrace(const TxTrace &T);
+
+} // namespace trace
+} // namespace gpustm
+
+#endif // GPUSTM_TRACE_CHECKER_H

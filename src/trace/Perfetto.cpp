@@ -1,0 +1,144 @@
+//===- trace/Perfetto.cpp - Chrome/Perfetto trace export ------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Perfetto.h"
+#include "trace/Checker.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace gpustm;
+using namespace gpustm::trace;
+using stm::TxEvent;
+using stm::TxEventKind;
+
+namespace {
+
+/// Spans of zero simulated cycles still need visible extent in the UI.
+constexpr uint64_t MinSpanCycles = 1;
+
+void writeComma(std::FILE *F, bool &First) {
+  if (!First)
+    std::fputs(",\n", F);
+  First = false;
+}
+
+} // namespace
+
+bool gpustm::trace::writePerfettoJson(const TxTrace &T,
+                                      const std::string &Path,
+                                      bool IncludeInstants,
+                                      std::string *Err) {
+  std::vector<TxAttempt> Attempts;
+  CheckResult Split;
+  if (!splitAttempts(T, Attempts, Split)) {
+    if (Err)
+      *Err = "trace is structurally broken: " + Split.Message;
+    return false;
+  }
+
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Err)
+      *Err = formatString("cannot open '%s' for writing", Path.c_str());
+    return false;
+  }
+
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", F);
+  bool First = true;
+
+  // Track naming: one "process" per SM, one "thread" per global thread id.
+  // Which SM a thread appears on is stable for a run (blocks do not
+  // migrate), so name tracks from each thread's first event.
+  std::vector<uint8_t> SmNamed(T.Meta.NumSMs ? T.Meta.NumSMs : 1, 0);
+  std::vector<uint8_t> ThreadNamed;
+  for (const TxEvent &E : T.Events) {
+    if (E.Sm >= SmNamed.size())
+      SmNamed.resize(E.Sm + 1, 0);
+    if (!SmNamed[E.Sm]) {
+      SmNamed[E.Sm] = 1;
+      writeComma(F, First);
+      std::fprintf(F,
+                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                   "\"args\":{\"name\":\"SM %u\"}}",
+                   E.Sm, E.Sm);
+    }
+    if (E.ThreadId >= ThreadNamed.size())
+      ThreadNamed.resize(E.ThreadId + 1, 0);
+    if (!ThreadNamed[E.ThreadId]) {
+      ThreadNamed[E.ThreadId] = 1;
+      writeComma(F, First);
+      std::fprintf(F,
+                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                   "\"tid\":%u,\"args\":{\"name\":\"thread %u\"}}",
+                   E.Sm, E.ThreadId, E.ThreadId);
+    }
+  }
+
+  for (const TxAttempt &A : Attempts) {
+    const TxEvent &Begin = T.Events[A.BeginIdx];
+    const TxEvent &End = T.Events[A.EndIdx];
+    uint64_t Dur = End.Cycle - Begin.Cycle;
+    if (Dur < MinSpanCycles)
+      Dur = MinSpanCycles;
+    writeComma(F, First);
+    if (A.Committed) {
+      std::fprintf(
+          F,
+          "{\"name\":\"tx commit\",\"cat\":\"tx\",\"ph\":\"X\",\"ts\":%llu,"
+          "\"dur\":%llu,\"pid\":%u,\"tid\":%u,\"cname\":\"good\","
+          "\"args\":{\"outcome\":\"commit\",\"kernel\":%u,\"version\":%llu,"
+          "\"reads\":%zu,\"writes\":%zu}}",
+          static_cast<unsigned long long>(Begin.Cycle),
+          static_cast<unsigned long long>(Dur), Begin.Sm, A.ThreadId,
+          A.Kernel, static_cast<unsigned long long>(A.Version),
+          A.Reads.size(), A.Writes.size());
+    } else {
+      std::fprintf(
+          F,
+          "{\"name\":\"tx abort (%s)\",\"cat\":\"tx\",\"ph\":\"X\","
+          "\"ts\":%llu,\"dur\":%llu,\"pid\":%u,\"tid\":%u,"
+          "\"cname\":\"terrible\",\"args\":{\"outcome\":\"abort\","
+          "\"cause\":\"%s\",\"kernel\":%u,\"reads\":%zu,\"writes\":%zu}}",
+          stm::abortCauseName(A.Cause),
+          static_cast<unsigned long long>(Begin.Cycle),
+          static_cast<unsigned long long>(Dur), Begin.Sm, A.ThreadId,
+          stm::abortCauseName(A.Cause), A.Kernel, A.Reads.size(),
+          A.Writes.size());
+    }
+  }
+
+  if (IncludeInstants) {
+    for (const TxEvent &E : T.Events) {
+      if (E.Kind == TxEventKind::Begin || E.Kind == TxEventKind::Commit ||
+          E.Kind == TxEventKind::Abort)
+        continue;
+      writeComma(F, First);
+      std::fprintf(
+          F,
+          "{\"name\":\"%s\",\"cat\":\"op\",\"ph\":\"i\",\"s\":\"t\","
+          "\"ts\":%llu,\"pid\":%u,\"tid\":%u,\"args\":{\"addr\":%u,"
+          "\"value\":%u,\"aux\":%u}}",
+          stm::txEventKindName(E.Kind),
+          static_cast<unsigned long long>(E.Cycle), E.Sm, E.ThreadId,
+          E.Address, E.Value, E.Aux);
+    }
+  }
+
+  std::fprintf(F,
+               "\n],\"otherData\":{\"workload\":\"%s\",\"variant\":\"%s\","
+               "\"totalCycles\":%llu}}\n",
+               T.Meta.Workload.c_str(), stm::variantName(T.Meta.Kind),
+               static_cast<unsigned long long>(T.Meta.TotalCycles));
+
+  bool WriteOk = std::ferror(F) == 0;
+  if (std::fclose(F) != 0)
+    WriteOk = false;
+  if (!WriteOk && Err)
+    *Err = formatString("I/O error writing '%s'", Path.c_str());
+  return WriteOk;
+}

@@ -1,0 +1,37 @@
+//===- trace/Perfetto.h - Chrome/Perfetto trace export ----------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports a TxTrace to the Chrome trace_event JSON format, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.  Each SM becomes a
+/// process track and each thread a thread track; every transaction attempt
+/// is a complete ("X") span from its Begin to its Commit/Abort, colored by
+/// outcome and annotated with args (outcome, abort cause, commit version,
+/// read/write counts).  Reads, writes, validations, and lock events appear
+/// as instant events within the span when \p IncludeInstants is set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_TRACE_PERFETTO_H
+#define GPUSTM_TRACE_PERFETTO_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace gpustm {
+namespace trace {
+
+/// Write \p T as trace_event JSON to \p Path.  \p IncludeInstants adds a
+/// per-event instant marker inside each span (larger files).  Returns
+/// false and sets \p Err on I/O failure or a structurally broken trace.
+bool writePerfettoJson(const TxTrace &T, const std::string &Path,
+                       bool IncludeInstants, std::string *Err);
+
+} // namespace trace
+} // namespace gpustm
+
+#endif // GPUSTM_TRACE_PERFETTO_H

@@ -1,0 +1,304 @@
+//===- trace/TraceIO.cpp - Compact binary trace format --------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+#include "support/Format.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+using namespace gpustm;
+using namespace gpustm::trace;
+
+namespace {
+
+constexpr char Magic[8] = {'G', 'P', 'U', 'S', 'T', 'M', 'T', 'R'};
+constexpr uint32_t FormatVersion = 1;
+
+/// Sanity bound on serialized vector lengths (words, events, ops): 1 G
+/// entries.  Rejects corrupt length fields before they turn into huge
+/// allocations.
+constexpr uint64_t MaxCount = 1ULL << 30;
+
+struct Writer {
+  std::FILE *F;
+
+  void u8(uint8_t V) { std::fwrite(&V, 1, 1, F); }
+  void u16(uint16_t V) {
+    uint8_t B[2] = {uint8_t(V), uint8_t(V >> 8)};
+    std::fwrite(B, 1, 2, F);
+  }
+  void u32(uint32_t V) {
+    uint8_t B[4] = {uint8_t(V), uint8_t(V >> 8), uint8_t(V >> 16),
+                    uint8_t(V >> 24)};
+    std::fwrite(B, 1, 4, F);
+  }
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    std::fwrite(S.data(), 1, S.size(), F);
+  }
+};
+
+struct Reader {
+  std::FILE *F;
+  bool Ok = true;
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    if (std::fread(&V, 1, 1, F) != 1)
+      Ok = false;
+    return V;
+  }
+  uint16_t u16() {
+    uint8_t B[2] = {};
+    if (std::fread(B, 1, 2, F) != 2)
+      Ok = false;
+    return static_cast<uint16_t>(B[0] | (B[1] << 8));
+  }
+  uint32_t u32() {
+    uint8_t B[4] = {};
+    if (std::fread(B, 1, 4, F) != 4)
+      Ok = false;
+    return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+           (static_cast<uint32_t>(B[2]) << 16) |
+           (static_cast<uint32_t>(B[3]) << 24);
+  }
+  uint64_t u64() {
+    uint64_t Lo = u32();
+    uint64_t Hi = u32();
+    return Lo | (Hi << 32);
+  }
+  bool str(std::string &S) {
+    uint32_t N = u32();
+    if (!Ok || N > MaxCount)
+      return Ok = false;
+    S.resize(N);
+    if (N && std::fread(S.data(), 1, N, F) != N)
+      return Ok = false;
+    return true;
+  }
+};
+
+void writeImage(Writer &W, const MemImage &Image) {
+  W.u32(Image.Base);
+  W.u64(Image.Words.size());
+  for (simt::Word V : Image.Words)
+    W.u32(V);
+}
+
+bool readImage(Reader &R, MemImage &Image) {
+  Image.Base = R.u32();
+  uint64_t N = R.u64();
+  if (!R.Ok || N > MaxCount)
+    return R.Ok = false;
+  Image.Words.resize(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Image.Words[I] = R.u32();
+  return R.Ok;
+}
+
+} // namespace
+
+bool gpustm::trace::writeTrace(const TxTrace &T, const std::string &Path,
+                               std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = formatString("cannot open '%s' for writing", Path.c_str());
+    return false;
+  }
+  Writer W{F};
+  std::fwrite(Magic, 1, sizeof(Magic), F);
+  W.u32(FormatVersion);
+
+  const TraceMeta &M = T.Meta;
+  W.str(M.Workload);
+  W.u8(static_cast<uint8_t>(M.Kind));
+  W.u8(static_cast<uint8_t>(M.Val));
+  W.u32(M.WarpSize);
+  W.u32(M.NumSMs);
+  W.u32(M.GridDim);
+  W.u32(M.BlockDim);
+  W.u32(M.NumKernels);
+  W.u64(M.TotalCycles);
+  const stm::StmCounters &C = M.Counters;
+  const uint64_t Counters[11] = {
+      C.Commits,      C.ReadOnlyCommits,       C.Aborts,
+      C.AbortsReadValidation, C.AbortsCommitValidation, C.LockFailures,
+      C.StaleSnapshots,       C.FalseConflictsAvoided,  C.VbvRuns,
+      C.TxReads,      C.TxWrites};
+  for (uint64_t V : Counters)
+    W.u64(V);
+
+  writeImage(W, T.Initial);
+  writeImage(W, T.Final);
+
+  W.u64(T.Events.size());
+  for (const stm::TxEvent &E : T.Events) {
+    W.u64(E.Cycle);
+    W.u32(E.ThreadId);
+    W.u16(E.Sm);
+    W.u16(E.Kernel);
+    W.u8(static_cast<uint8_t>(E.Kind));
+    W.u8(static_cast<uint8_t>(E.Cause));
+    W.u16(0); // pad to a 32-byte record
+    W.u32(E.Address);
+    W.u32(E.Value);
+    W.u32(E.Aux);
+  }
+
+  W.u64(T.Ops.size());
+  for (const simt::TraceEvent &E : T.Ops) {
+    W.u64(E.IssueCycle);
+    W.u32(E.BlockIdx);
+    W.u32(E.WarpIdInBlock);
+    W.u32(E.LaneIdx);
+    W.u32(E.SmIdx);
+    W.u8(static_cast<uint8_t>(E.Kind));
+    W.u8(static_cast<uint8_t>(E.LanePhase));
+    W.u16(0);
+    W.u32(E.Address);
+    W.u32(E.Value);
+  }
+  W.u64(T.OpKernelStart.size());
+  for (uint64_t V : T.OpKernelStart)
+    W.u64(V);
+
+  bool WriteOk = std::ferror(F) == 0;
+  if (std::fclose(F) != 0)
+    WriteOk = false;
+  if (!WriteOk && Err)
+    *Err = formatString("I/O error writing '%s'", Path.c_str());
+  return WriteOk;
+}
+
+bool gpustm::trace::readTrace(TxTrace &T, const std::string &Path,
+                              std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = formatString("cannot open '%s'", Path.c_str());
+    return false;
+  }
+  auto Fail = [&](const char *What) {
+    std::fclose(F);
+    if (Err)
+      *Err = formatString("'%s': %s", Path.c_str(), What);
+    return false;
+  };
+
+  char FileMagic[8] = {};
+  if (std::fread(FileMagic, 1, sizeof(FileMagic), F) != sizeof(FileMagic) ||
+      std::memcmp(FileMagic, Magic, sizeof(Magic)) != 0)
+    return Fail("not a GPU-STM trace (bad magic)");
+  Reader R{F};
+  uint32_t Version = R.u32();
+  if (!R.Ok || Version != FormatVersion)
+    return Fail("unsupported trace format version");
+
+  T = TxTrace();
+  TraceMeta &M = T.Meta;
+  if (!R.str(M.Workload))
+    return Fail("truncated metadata");
+  uint8_t Kind = R.u8();
+  uint8_t Val = R.u8();
+  if (Kind > static_cast<uint8_t>(stm::Variant::EGPGV) ||
+      Val > static_cast<uint8_t>(stm::Validation::VBV))
+    return Fail("invalid variant/validation field");
+  M.Kind = static_cast<stm::Variant>(Kind);
+  M.Val = static_cast<stm::Validation>(Val);
+  M.WarpSize = R.u32();
+  M.NumSMs = R.u32();
+  M.GridDim = R.u32();
+  M.BlockDim = R.u32();
+  M.NumKernels = R.u32();
+  M.TotalCycles = R.u64();
+  stm::StmCounters &C = M.Counters;
+  C.Commits = R.u64();
+  C.ReadOnlyCommits = R.u64();
+  C.Aborts = R.u64();
+  C.AbortsReadValidation = R.u64();
+  C.AbortsCommitValidation = R.u64();
+  C.LockFailures = R.u64();
+  C.StaleSnapshots = R.u64();
+  C.FalseConflictsAvoided = R.u64();
+  C.VbvRuns = R.u64();
+  C.TxReads = R.u64();
+  C.TxWrites = R.u64();
+  if (!R.Ok)
+    return Fail("truncated metadata");
+
+  if (!readImage(R, T.Initial) || !readImage(R, T.Final))
+    return Fail("truncated memory image");
+
+  uint64_t NumEvents = R.u64();
+  if (!R.Ok || NumEvents > MaxCount)
+    return Fail("invalid event count");
+  T.Events.resize(NumEvents);
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    stm::TxEvent &E = T.Events[I];
+    E.Cycle = R.u64();
+    E.ThreadId = R.u32();
+    E.Sm = R.u16();
+    E.Kernel = R.u16();
+    uint8_t EvKind = R.u8();
+    uint8_t Cause = R.u8();
+    R.u16(); // pad
+    if (EvKind > static_cast<uint8_t>(stm::TxEventKind::Abort) ||
+        Cause > static_cast<uint8_t>(stm::AbortCause::Explicit))
+      return Fail("invalid transaction-event record");
+    E.Kind = static_cast<stm::TxEventKind>(EvKind);
+    E.Cause = static_cast<stm::AbortCause>(Cause);
+    E.Address = R.u32();
+    E.Value = R.u32();
+    E.Aux = R.u32();
+  }
+  if (!R.Ok)
+    return Fail("truncated event stream");
+
+  uint64_t NumOps = R.u64();
+  if (!R.Ok || NumOps > MaxCount)
+    return Fail("invalid op count");
+  T.Ops.resize(NumOps);
+  for (uint64_t I = 0; I < NumOps; ++I) {
+    simt::TraceEvent &E = T.Ops[I];
+    E.IssueCycle = R.u64();
+    E.BlockIdx = R.u32();
+    E.WarpIdInBlock = R.u32();
+    E.LaneIdx = R.u32();
+    E.SmIdx = R.u32();
+    uint8_t OpKind = R.u8();
+    uint8_t LanePhase = R.u8();
+    R.u16(); // pad
+    if (OpKind > static_cast<uint8_t>(simt::OpKind::MemWait) ||
+        LanePhase >= static_cast<uint8_t>(simt::Phase::NumPhases))
+      return Fail("invalid operation record");
+    E.Kind = static_cast<simt::OpKind>(OpKind);
+    E.LanePhase = static_cast<simt::Phase>(LanePhase);
+    E.Address = R.u32();
+    E.Value = R.u32();
+  }
+  uint64_t NumStarts = R.u64();
+  if (!R.Ok || NumStarts > MaxCount)
+    return Fail("invalid kernel-start count");
+  T.OpKernelStart.resize(NumStarts);
+  for (uint64_t I = 0; I < NumStarts; ++I)
+    T.OpKernelStart[I] = R.u64();
+  if (!R.Ok)
+    return Fail("truncated trace");
+
+  // The file must end exactly here.
+  if (std::fgetc(F) != EOF)
+    return Fail("trailing bytes after trace payload");
+  std::fclose(F);
+  return true;
+}

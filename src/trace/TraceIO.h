@@ -1,0 +1,37 @@
+//===- trace/TraceIO.h - Compact binary trace format ------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of a TxTrace to a compact little-endian binary file
+/// (magic "GPUSTMTR", format version 1).  Layout: header, metadata,
+/// initial and final memory images, the 32-byte transaction-event records,
+/// then the optional per-lane operation stream.  No exceptions: both
+/// directions return false and fill \p Err on malformed input or I/O
+/// failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_TRACE_TRACEIO_H
+#define GPUSTM_TRACE_TRACEIO_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace gpustm {
+namespace trace {
+
+/// Write \p T to \p Path.  Returns false and sets \p Err on failure.
+bool writeTrace(const TxTrace &T, const std::string &Path, std::string *Err);
+
+/// Read \p Path into \p T.  Returns false and sets \p Err on a short,
+/// corrupt, or version-mismatched file.
+bool readTrace(TxTrace &T, const std::string &Path, std::string *Err);
+
+} // namespace trace
+} // namespace gpustm
+
+#endif // GPUSTM_TRACE_TRACEIO_H

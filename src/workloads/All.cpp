@@ -62,3 +62,18 @@ gpustm::workloads::makeWorkload(const std::string &Name, unsigned Scale) {
   }
   reportFatalError("unknown workload: " + Name);
 }
+
+std::vector<simt::LaunchConfig>
+gpustm::workloads::paperLaunches(const std::string &Name, unsigned Scale) {
+  using simt::LaunchConfig;
+  if (Scale == 0)
+    Scale = 1;
+  if (Name == "GN") // Two kernels: wide dedup, narrow linking (Table 2).
+    return {LaunchConfig{32u * Scale, 256}, LaunchConfig{16u * Scale, 64}};
+  if (Name == "LB") // One transactional thread per block.
+    return {LaunchConfig{64u * Scale, 32}};
+  if (Name == "KM") // Small blocks: high conflict limits concurrency.
+    return {LaunchConfig{64u * Scale, 8}};
+  // RA / HT / EB (and the default shape).
+  return {LaunchConfig{32u * Scale, 256}};
+}

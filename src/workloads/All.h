@@ -15,6 +15,7 @@
 #ifndef GPUSTM_WORKLOADS_ALL_H
 #define GPUSTM_WORKLOADS_ALL_H
 
+#include "simt/Device.h"
 #include "workloads/Workload.h"
 
 #include <memory>
@@ -33,6 +34,11 @@ std::unique_ptr<Workload> makeWorkload(const std::string &Name,
 inline std::vector<std::string> figure2WorkloadNames() {
   return {"RA", "HT", "GN", "LB", "KM"};
 }
+
+/// Paper-shaped (scaled) per-kernel launch configuration for each workload,
+/// modeled on Table 2.  Shared by the bench binaries and tools/stmtrace.
+std::vector<simt::LaunchConfig> paperLaunches(const std::string &Name,
+                                              unsigned Scale = 1);
 
 } // namespace workloads
 } // namespace gpustm

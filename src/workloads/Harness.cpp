@@ -5,10 +5,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "workloads/Harness.h"
+#include "support/EnvOptions.h"
 #include "support/Error.h"
+#include "support/Format.h"
 #include "support/MathExtras.h"
+#include "trace/Recorder.h"
+#include "trace/TraceIO.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
 
 using namespace gpustm;
 using namespace gpustm::workloads;
@@ -26,6 +33,20 @@ double HarnessResult::txTimeProportion() const {
                 Sim.get("cycles.commit") + Sim.get("cycles.aborted");
   uint64_t Total = Native + Tx;
   return Total == 0 ? 0.0 : static_cast<double>(Tx) / Total;
+}
+
+/// Where to write this run's trace when the harness owns the recorder:
+/// the configured path, else GPUSTM_TRACE.  Later runs in the same process
+/// get a ".N" suffix so sweeps do not clobber one another.
+static std::string resolveTracePath(const HarnessConfig &Config) {
+  std::string Path = Config.TracePath.empty()
+                         ? envString("GPUSTM_TRACE", "")
+                         : Config.TracePath;
+  if (Path.empty())
+    return Path;
+  static std::map<std::string, unsigned> RunsPerPath;
+  unsigned Run = RunsPerPath[Path]++;
+  return Run == 0 ? Path : formatString("%s.%u", Path.c_str(), Run);
 }
 
 /// Widest launch across kernels (the STM runtime sizes its per-thread and
@@ -82,11 +103,30 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
   W.setup(Dev);
   StmRuntime Stm(Dev, SC, Max);
 
+  // Trace recording: a caller-owned recorder wins; otherwise a configured
+  // path (or GPUSTM_TRACE) makes the harness record and serialize the run.
+  trace::TxTraceRecorder *Recorder = Config.Recorder;
+  std::unique_ptr<trace::TxTraceRecorder> OwnedRecorder;
+  std::string TracePath;
+  if (!Recorder) {
+    TracePath = resolveTracePath(Config);
+    if (!TracePath.empty()) {
+      trace::TxTraceRecorder::Options RecOpts;
+      RecOpts.RecordOps = envBool("GPUSTM_TRACE_OPS", false);
+      OwnedRecorder = std::make_unique<trace::TxTraceRecorder>(RecOpts);
+      Recorder = OwnedRecorder.get();
+    }
+  }
+  if (Recorder)
+    Recorder->beginRun(W.name(), Dev, Stm, Max);
+
   HarnessResult Result;
   Result.Completed = true;
   for (unsigned K = 0; K < W.numKernels(); ++K) {
     Workload::KernelSpec Spec = W.kernelSpec(K);
     LaunchConfig L = Launches[K];
+    if (Recorder)
+      Recorder->noteKernelLaunch(K);
     bool BlockLevel =
         Spec.TxThreadPerBlockOnly || Config.Kind == Variant::EGPGV;
 
@@ -124,6 +164,14 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     }
   }
   Result.Stm = Stm.counters();
+  if (Recorder) {
+    Recorder->finishRun(Dev, Stm, Result.TotalCycles);
+    if (OwnedRecorder) {
+      std::string Err;
+      if (!trace::writeTrace(OwnedRecorder->trace(), TracePath, &Err))
+        std::fprintf(stderr, "GPUSTM_TRACE: %s\n", Err.c_str());
+    }
+  }
 
   if (Result.Completed && Config.Verify) {
     std::string Err;

@@ -23,6 +23,10 @@
 #include <vector>
 
 namespace gpustm {
+namespace trace {
+class TxTraceRecorder;
+} // namespace trace
+
 namespace workloads {
 
 /// One harness invocation.
@@ -48,6 +52,14 @@ struct HarnessConfig {
   unsigned SchedulerCap = 0;
   /// Adaptive sorting/backoff selection (Section 4.2 future work).
   bool AdaptiveLocking = false;
+  /// Caller-owned trace recorder: when set, the harness drives its
+  /// beginRun/noteKernelLaunch/finishRun lifecycle around the run.
+  trace::TxTraceRecorder *Recorder = nullptr;
+  /// When no Recorder is given, a non-empty path (or the GPUSTM_TRACE
+  /// environment variable) makes the harness record the run and write a
+  /// binary trace there; a second run through the same config appends
+  /// ".1", ".2", ... so kernels-in-sequence do not clobber each other.
+  std::string TracePath;
 };
 
 /// Harness measurements.

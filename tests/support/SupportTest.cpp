@@ -140,6 +140,36 @@ TEST(EnvOptionsTest, ParsesAndDefaults) {
   EXPECT_EQ(envString("GPUSTM_TEST_OPT", "dflt"), "dflt");
 }
 
+TEST(EnvOptionsTest, RejectsTrailingGarbage) {
+  // "8x" must fall back to the default, not silently parse as 8.
+  ::setenv("GPUSTM_TEST_OPT", "8x", 1);
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 7u);
+  ::setenv("GPUSTM_TEST_OPT", "8 9", 1);
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 7u);
+  // Trailing whitespace alone is tolerated.
+  ::setenv("GPUSTM_TEST_OPT", "8 ", 1);
+  EXPECT_EQ(envUnsigned("GPUSTM_TEST_OPT", 7), 8u);
+  ::unsetenv("GPUSTM_TEST_OPT");
+}
+
+TEST(EnvOptionsTest, ParsesBools) {
+  ::unsetenv("GPUSTM_TEST_OPT");
+  EXPECT_TRUE(envBool("GPUSTM_TEST_OPT", true));
+  EXPECT_FALSE(envBool("GPUSTM_TEST_OPT", false));
+  for (const char *V : {"1", "true", "YES", "On"}) {
+    ::setenv("GPUSTM_TEST_OPT", V, 1);
+    EXPECT_TRUE(envBool("GPUSTM_TEST_OPT", false)) << V;
+  }
+  for (const char *V : {"0", "false", "NO", "Off"}) {
+    ::setenv("GPUSTM_TEST_OPT", V, 1);
+    EXPECT_FALSE(envBool("GPUSTM_TEST_OPT", true)) << V;
+  }
+  ::setenv("GPUSTM_TEST_OPT", "maybe", 1);
+  EXPECT_TRUE(envBool("GPUSTM_TEST_OPT", true));
+  EXPECT_FALSE(envBool("GPUSTM_TEST_OPT", false));
+  ::unsetenv("GPUSTM_TEST_OPT");
+}
+
 TEST(FunctionRefTest, CallsThroughWithCaptures) {
   int Acc = 0;
   auto AddN = [&Acc](int N) { Acc += N; return Acc; };

@@ -1,0 +1,311 @@
+//===- tests/trace/TraceCheckerTest.cpp - Offline checker tests -----------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// The checker must (a) pass clean traces from every variant x workload
+// combination, and (b) fail with a cause-specific diagnostic on each
+// seeded mutation: a dropped commit, reordered commit timestamps, a torn
+// write value, a corrupted read value, a dropped read event, and a
+// corrupted final image.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Checker.h"
+#include "trace/Recorder.h"
+#include "workloads/All.h"
+#include "workloads/EigenBench.h"
+#include "workloads/Genome.h"
+#include "workloads/Harness.h"
+#include "workloads/HashTable.h"
+#include "workloads/KMeans.h"
+#include "workloads/Labyrinth.h"
+#include "workloads/RandomArray.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+using namespace gpustm;
+using namespace gpustm::trace;
+using stm::AbortCause;
+using stm::TxEvent;
+using stm::TxEventKind;
+using stm::Variant;
+
+namespace {
+
+/// Tiny-but-nontrivial workload instances so the full 7x6 matrix stays
+/// fast.  Shapes follow bench/Common.h's Table 2 launches, scaled down.
+std::unique_ptr<workloads::Workload> tinyWorkload(const std::string &Name) {
+  if (Name == "RA") {
+    workloads::RandomArray::Params P;
+    P.ArrayWords = 4096;
+    P.NumTx = 512;
+    return std::make_unique<workloads::RandomArray>(P);
+  }
+  if (Name == "HT") {
+    workloads::HashTable::Params P;
+    P.TableWords = 1u << 12;
+    P.NumTx = 512;
+    return std::make_unique<workloads::HashTable>(P);
+  }
+  if (Name == "EB") {
+    workloads::EigenBench::Params P;
+    P.HotWords = 4096;
+    P.NumTx = 384;
+    P.MaxThreads = 1u << 10;
+    return std::make_unique<workloads::EigenBench>(P);
+  }
+  if (Name == "LB") {
+    workloads::Labyrinth::Params P;
+    P.GridN = 24;
+    P.NumRoutes = 32;
+    P.ExpansionCycles = 200;
+    return std::make_unique<workloads::Labyrinth>(P);
+  }
+  if (Name == "GN") {
+    workloads::Genome::Params P;
+    P.GenomeLen = 512;
+    P.NumSegments = 768;
+    P.TableWords = 1u << 11;
+    return std::make_unique<workloads::Genome>(P);
+  }
+  workloads::KMeans::Params P;
+  P.NumPoints = 512;
+  return std::make_unique<workloads::KMeans>(P);
+}
+
+std::vector<simt::LaunchConfig> tinyLaunches(const std::string &Name) {
+  if (Name == "LB")
+    return {simt::LaunchConfig{8, 32}};
+  if (Name == "KM")
+    return {simt::LaunchConfig{8, 8}};
+  if (Name == "GN")
+    return {simt::LaunchConfig{4, 64}, simt::LaunchConfig{2, 64}};
+  return {simt::LaunchConfig{4, 64}};
+}
+
+/// Record one run and return the trace; asserts the run itself succeeded.
+TxTrace recordRun(const std::string &Name, Variant Kind,
+                  workloads::HarnessResult *ResultOut = nullptr) {
+  std::unique_ptr<workloads::Workload> W = tinyWorkload(Name);
+  workloads::HarnessConfig HC;
+  HC.Kind = Kind;
+  HC.Launches = tinyLaunches(Name);
+  HC.NumLocks = 1u << 12;
+  HC.DeviceCfg.NumSMs = 4;
+  TxTraceRecorder Recorder;
+  HC.Recorder = &Recorder;
+  workloads::HarnessResult R = workloads::runWorkload(*W, HC);
+  EXPECT_TRUE(R.Completed) << Name << ": " << R.Error;
+  EXPECT_TRUE(R.Verified) << Name << ": " << R.Error;
+  if (ResultOut)
+    *ResultOut = R;
+  return std::move(Recorder.trace());
+}
+
+class CleanTraceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, Variant>> {};
+
+TEST_P(CleanTraceTest, ChecksClean) {
+  const auto &[Name, Kind] = GetParam();
+  TxTrace T = recordRun(Name, Kind);
+  CheckResult R = checkTrace(T);
+  EXPECT_TRUE(R.ok()) << checkStatusName(R.Status) << ": " << R.Message;
+  EXPECT_GT(R.Attempts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAllWorkloads, CleanTraceTest,
+    ::testing::Combine(::testing::Values("RA", "HT", "EB", "LB", "GN", "KM"),
+                       ::testing::Values(Variant::CGL, Variant::VBV,
+                                         Variant::TBVSorting,
+                                         Variant::HVSorting,
+                                         Variant::HVBackoff,
+                                         Variant::Optimized, Variant::EGPGV)),
+    [](const ::testing::TestParamInfo<CleanTraceTest::ParamType> &Info) {
+      return std::get<0>(Info.param) +
+             std::string("_") +
+             std::to_string(static_cast<unsigned>(std::get<1>(Info.param)));
+    });
+
+//===----------------------------------------------------------------------===//
+// Mutation tests: seed one corruption, expect the matching diagnostic.
+//===----------------------------------------------------------------------===//
+
+/// A contended RA run under STM-HV-Sorting: small array, many
+/// transactions, so the trace is guaranteed to contain aborts and
+/// overlapping update commits.
+TxTrace contendedTrace() {
+  workloads::RandomArray::Params P;
+  P.ArrayWords = 128;
+  P.NumTx = 768;
+  auto W = std::make_unique<workloads::RandomArray>(P);
+  workloads::HarnessConfig HC;
+  HC.Kind = Variant::HVSorting;
+  HC.Launches = {simt::LaunchConfig{4, 64}};
+  HC.NumLocks = 1u << 12;
+  HC.DeviceCfg.NumSMs = 4;
+  TxTraceRecorder Recorder;
+  HC.Recorder = &Recorder;
+  workloads::HarnessResult R = workloads::runWorkload(*W, HC);
+  EXPECT_TRUE(R.Completed && R.Verified) << R.Error;
+  EXPECT_GT(R.Stm.Aborts, 0u) << "mutation tests need a contended trace";
+  return std::move(Recorder.trace());
+}
+
+TEST(TraceMutationTest, CleanContendedTracePasses) {
+  TxTrace T = contendedTrace();
+  CheckResult R = checkTrace(T);
+  EXPECT_TRUE(R.ok()) << checkStatusName(R.Status) << ": " << R.Message;
+}
+
+TEST(TraceMutationTest, DroppedCommitIsStructural) {
+  TxTrace T = contendedTrace();
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    if (T.Events[I].Kind != TxEventKind::Commit)
+      continue;
+    T.Events.erase(T.Events.begin() + static_cast<ptrdiff_t>(I));
+    break;
+  }
+  CheckResult R = checkTrace(T);
+  EXPECT_EQ(R.Status, CheckStatus::Structural) << R.Message;
+  EXPECT_FALSE(R.Message.empty());
+}
+
+TEST(TraceMutationTest, ReorderedCommitVersionsAreNotSerializable) {
+  TxTrace T = contendedTrace();
+  std::vector<TxAttempt> Attempts;
+  CheckResult Split;
+  ASSERT_TRUE(splitAttempts(T, Attempts, Split)) << Split.Message;
+
+  // Swap the commit versions of the two highest-version update commits
+  // that both wrote the same address with different values: replaying in
+  // the (now swapped) version order flips which value lands last.
+  struct LastWrite {
+    size_t CommitIdx;
+    uint64_t Version;
+    simt::Word Value;
+  };
+  std::unordered_map<simt::Addr, std::vector<LastWrite>> WritersByAddr;
+  for (const TxAttempt &A : Attempts) {
+    if (!A.Committed || A.Writes.empty())
+      continue;
+    std::unordered_map<simt::Addr, simt::Word> Last;
+    for (size_t EvIdx : A.Writes)
+      Last[T.Events[EvIdx].Address] = T.Events[EvIdx].Value;
+    for (const auto &[Addr, Value] : Last)
+      WritersByAddr[Addr].push_back({A.EndIdx, A.Version, Value});
+  }
+  size_t CommitA = 0, CommitB = 0;
+  bool Found = false;
+  for (auto &[Addr, Writers] : WritersByAddr) {
+    if (Writers.size() < 2)
+      continue;
+    std::sort(Writers.begin(), Writers.end(),
+              [](const LastWrite &X, const LastWrite &Y) {
+                return X.Version > Y.Version;
+              });
+    if (Writers[0].Value == Writers[1].Value)
+      continue; // Same value: swapping would be invisible.
+    CommitA = Writers[0].CommitIdx;
+    CommitB = Writers[1].CommitIdx;
+    Found = true;
+    break;
+  }
+  ASSERT_TRUE(Found) << "contended trace has no overlapping update commits";
+  std::swap(T.Events[CommitA].Aux, T.Events[CommitB].Aux);
+
+  CheckResult R = checkTrace(T);
+  EXPECT_EQ(R.Status, CheckStatus::SerializabilityViolation) << R.Message;
+  EXPECT_FALSE(R.Message.empty());
+}
+
+TEST(TraceMutationTest, TornWriteIsNotSerializable) {
+  TxTrace T = contendedTrace();
+  std::vector<TxAttempt> Attempts;
+  CheckResult Split;
+  ASSERT_TRUE(splitAttempts(T, Attempts, Split)) << Split.Message;
+
+  // Corrupt the globally last committed write to some address: the final
+  // image then disagrees with the replay (a torn/lost write-back).
+  uint64_t BestVersion = 0;
+  size_t Victim = ~size_t(0);
+  for (const TxAttempt &A : Attempts) {
+    if (!A.Committed || A.Writes.empty() || A.Version < BestVersion)
+      continue;
+    BestVersion = A.Version;
+    Victim = A.Writes.back();
+  }
+  ASSERT_NE(Victim, ~size_t(0));
+  T.Events[Victim].Value ^= 0x1;
+
+  CheckResult R = checkTrace(T);
+  EXPECT_EQ(R.Status, CheckStatus::SerializabilityViolation) << R.Message;
+}
+
+TEST(TraceMutationTest, CorruptReadValueViolatesOpacity) {
+  TxTrace T = contendedTrace();
+  std::vector<TxAttempt> Attempts;
+  CheckResult Split;
+  ASSERT_TRUE(splitAttempts(T, Attempts, Split)) << Split.Message;
+
+  // Give a committed transaction's first global read a value nothing ever
+  // wrote: no commit point can explain it.
+  size_t Victim = ~size_t(0);
+  for (const TxAttempt &A : Attempts) {
+    if (!A.Committed || A.Reads.empty())
+      continue;
+    Victim = A.Reads.front();
+    break;
+  }
+  ASSERT_NE(Victim, ~size_t(0));
+  T.Events[Victim].Value = 0xDEADBEEF;
+
+  CheckResult R = checkTrace(T);
+  EXPECT_EQ(R.Status, CheckStatus::OpacityViolation) << R.Message;
+}
+
+TEST(TraceMutationTest, DroppedReadIsACounterMismatch) {
+  TxTrace T = contendedTrace();
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    if (T.Events[I].Kind != TxEventKind::Read)
+      continue;
+    T.Events.erase(T.Events.begin() + static_cast<ptrdiff_t>(I));
+    break;
+  }
+  CheckResult R = checkTrace(T);
+  EXPECT_EQ(R.Status, CheckStatus::CounterMismatch) << R.Message;
+}
+
+TEST(TraceMutationTest, CorruptedFinalImageIsNotSerializable) {
+  TxTrace T = contendedTrace();
+  std::vector<TxAttempt> Attempts;
+  CheckResult Split;
+  ASSERT_TRUE(splitAttempts(T, Attempts, Split)) << Split.Message;
+
+  // Flip a word some committed transaction wrote.
+  size_t Victim = ~size_t(0);
+  for (const TxAttempt &A : Attempts) {
+    if (!A.Committed || A.Writes.empty())
+      continue;
+    Victim = A.Writes.front();
+    break;
+  }
+  ASSERT_NE(Victim, ~size_t(0));
+  simt::Addr Addr = T.Events[Victim].Address;
+  ASSERT_TRUE(T.Final.contains(Addr));
+  T.Final.Words[Addr - T.Final.Base] ^= 0x1;
+
+  CheckResult R = checkTrace(T);
+  EXPECT_EQ(R.Status, CheckStatus::SerializabilityViolation) << R.Message;
+}
+
+} // namespace

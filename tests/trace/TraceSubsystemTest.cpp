@@ -1,0 +1,273 @@
+//===- tests/trace/TraceSubsystemTest.cpp - Recorder/IO/export tests ------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// Subsystem-level guarantees: attaching a recorder perturbs nothing
+// (cycles and every STM counter bit-identical), binary round-trips are
+// lossless, the Perfetto export has the expected shape, report
+// attribution reconciles with the harness counters, and the GPUSTM_TRACE
+// environment variable wires recording through the harness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Analysis.h"
+#include "trace/Checker.h"
+#include "trace/Perfetto.h"
+#include "trace/Recorder.h"
+#include "trace/TraceIO.h"
+#include "workloads/All.h"
+#include "workloads/Harness.h"
+#include "workloads/Labyrinth.h"
+#include "workloads/RandomArray.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+using namespace gpustm;
+using namespace gpustm::trace;
+using stm::Variant;
+
+namespace {
+
+workloads::HarnessConfig smallConfig(Variant Kind) {
+  workloads::HarnessConfig HC;
+  HC.Kind = Kind;
+  HC.Launches = {simt::LaunchConfig{4, 64}};
+  HC.NumLocks = 1u << 12;
+  HC.DeviceCfg.NumSMs = 4;
+  return HC;
+}
+
+std::unique_ptr<workloads::Workload> smallRandomArray() {
+  workloads::RandomArray::Params P;
+  P.ArrayWords = 1024;
+  P.NumTx = 512;
+  return std::make_unique<workloads::RandomArray>(P);
+}
+
+void expectIdenticalResults(const workloads::HarnessResult &A,
+                            const workloads::HarnessResult &B) {
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  ASSERT_EQ(A.KernelCycles.size(), B.KernelCycles.size());
+  for (size_t K = 0; K < A.KernelCycles.size(); ++K)
+    EXPECT_EQ(A.KernelCycles[K], B.KernelCycles[K]);
+  EXPECT_EQ(A.Stm.Commits, B.Stm.Commits);
+  EXPECT_EQ(A.Stm.ReadOnlyCommits, B.Stm.ReadOnlyCommits);
+  EXPECT_EQ(A.Stm.Aborts, B.Stm.Aborts);
+  EXPECT_EQ(A.Stm.AbortsReadValidation, B.Stm.AbortsReadValidation);
+  EXPECT_EQ(A.Stm.AbortsCommitValidation, B.Stm.AbortsCommitValidation);
+  EXPECT_EQ(A.Stm.LockFailures, B.Stm.LockFailures);
+  EXPECT_EQ(A.Stm.StaleSnapshots, B.Stm.StaleSnapshots);
+  EXPECT_EQ(A.Stm.FalseConflictsAvoided, B.Stm.FalseConflictsAvoided);
+  EXPECT_EQ(A.Stm.VbvRuns, B.Stm.VbvRuns);
+  EXPECT_EQ(A.Stm.TxReads, B.Stm.TxReads);
+  EXPECT_EQ(A.Stm.TxWrites, B.Stm.TxWrites);
+}
+
+TEST(ZeroOverheadTest, RecorderLeavesCyclesAndCountersBitIdentical) {
+  auto W1 = smallRandomArray();
+  workloads::HarnessResult Plain =
+      workloads::runWorkload(*W1, smallConfig(Variant::HVSorting));
+  ASSERT_TRUE(Plain.Completed && Plain.Verified) << Plain.Error;
+
+  auto W2 = smallRandomArray();
+  workloads::HarnessConfig Traced = smallConfig(Variant::HVSorting);
+  TxTraceRecorder Recorder;
+  Traced.Recorder = &Recorder;
+  workloads::HarnessResult WithTrace = workloads::runWorkload(*W2, Traced);
+  ASSERT_TRUE(WithTrace.Completed && WithTrace.Verified) << WithTrace.Error;
+
+  expectIdenticalResults(Plain, WithTrace);
+  EXPECT_FALSE(Recorder.trace().Events.empty());
+}
+
+TEST(ZeroOverheadTest, OpRecordingIsAlsoBitIdentical) {
+  auto W1 = smallRandomArray();
+  workloads::HarnessResult Plain =
+      workloads::runWorkload(*W1, smallConfig(Variant::VBV));
+  ASSERT_TRUE(Plain.Completed && Plain.Verified) << Plain.Error;
+
+  auto W2 = smallRandomArray();
+  workloads::HarnessConfig Traced = smallConfig(Variant::VBV);
+  TxTraceRecorder::Options Opts;
+  Opts.RecordOps = true;
+  TxTraceRecorder Recorder(Opts);
+  Traced.Recorder = &Recorder;
+  workloads::HarnessResult WithTrace = workloads::runWorkload(*W2, Traced);
+  ASSERT_TRUE(WithTrace.Completed && WithTrace.Verified) << WithTrace.Error;
+
+  expectIdenticalResults(Plain, WithTrace);
+  EXPECT_FALSE(Recorder.trace().Ops.empty());
+}
+
+TxTrace recordSmallRun(Variant Kind, bool RecordOps = false) {
+  auto W = smallRandomArray();
+  workloads::HarnessConfig HC = smallConfig(Kind);
+  TxTraceRecorder::Options Opts;
+  Opts.RecordOps = RecordOps;
+  TxTraceRecorder Recorder(Opts);
+  HC.Recorder = &Recorder;
+  workloads::HarnessResult R = workloads::runWorkload(*W, HC);
+  EXPECT_TRUE(R.Completed && R.Verified) << R.Error;
+  return std::move(Recorder.trace());
+}
+
+TEST(TraceIOTest, BinaryRoundTripIsLossless) {
+  TxTrace T = recordSmallRun(Variant::HVSorting, /*RecordOps=*/true);
+  std::string Path = "subsystem_roundtrip.trace";
+  std::string Err;
+  ASSERT_TRUE(writeTrace(T, Path, &Err)) << Err;
+
+  TxTrace U;
+  ASSERT_TRUE(readTrace(U, Path, &Err)) << Err;
+  std::remove(Path.c_str());
+
+  EXPECT_EQ(T.Meta.Workload, U.Meta.Workload);
+  EXPECT_EQ(T.Meta.Kind, U.Meta.Kind);
+  EXPECT_EQ(T.Meta.Val, U.Meta.Val);
+  EXPECT_EQ(T.Meta.GridDim, U.Meta.GridDim);
+  EXPECT_EQ(T.Meta.BlockDim, U.Meta.BlockDim);
+  EXPECT_EQ(T.Meta.NumKernels, U.Meta.NumKernels);
+  EXPECT_EQ(T.Meta.TotalCycles, U.Meta.TotalCycles);
+  EXPECT_EQ(T.Meta.Counters.Commits, U.Meta.Counters.Commits);
+  EXPECT_EQ(T.Meta.Counters.Aborts, U.Meta.Counters.Aborts);
+  EXPECT_EQ(T.Initial.Words, U.Initial.Words);
+  EXPECT_EQ(T.Final.Words, U.Final.Words);
+  ASSERT_EQ(T.Events.size(), U.Events.size());
+  for (size_t I = 0; I < T.Events.size(); ++I) {
+    EXPECT_EQ(T.Events[I].Cycle, U.Events[I].Cycle);
+    EXPECT_EQ(T.Events[I].ThreadId, U.Events[I].ThreadId);
+    EXPECT_EQ(T.Events[I].Sm, U.Events[I].Sm);
+    EXPECT_EQ(T.Events[I].Kernel, U.Events[I].Kernel);
+    EXPECT_EQ(T.Events[I].Kind, U.Events[I].Kind);
+    EXPECT_EQ(T.Events[I].Cause, U.Events[I].Cause);
+    EXPECT_EQ(T.Events[I].Address, U.Events[I].Address);
+    EXPECT_EQ(T.Events[I].Value, U.Events[I].Value);
+    EXPECT_EQ(T.Events[I].Aux, U.Events[I].Aux);
+  }
+  ASSERT_EQ(T.Ops.size(), U.Ops.size());
+  for (size_t I = 0; I < T.Ops.size(); ++I) {
+    EXPECT_EQ(T.Ops[I].IssueCycle, U.Ops[I].IssueCycle);
+    EXPECT_EQ(T.Ops[I].BlockIdx, U.Ops[I].BlockIdx);
+    EXPECT_EQ(T.Ops[I].LaneIdx, U.Ops[I].LaneIdx);
+    EXPECT_EQ(T.Ops[I].SmIdx, U.Ops[I].SmIdx);
+    EXPECT_EQ(T.Ops[I].Kind, U.Ops[I].Kind);
+    EXPECT_EQ(T.Ops[I].Address, U.Ops[I].Address);
+    EXPECT_EQ(T.Ops[I].Value, U.Ops[I].Value);
+  }
+  EXPECT_EQ(T.OpKernelStart, U.OpKernelStart);
+
+  // And the round-tripped trace still checks clean.
+  CheckResult R = checkTrace(U);
+  EXPECT_TRUE(R.ok()) << checkStatusName(R.Status) << ": " << R.Message;
+}
+
+TEST(TraceIOTest, RejectsGarbageFiles) {
+  std::string Path = "subsystem_garbage.trace";
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F << "definitely not a trace";
+  }
+  TxTrace T;
+  std::string Err;
+  EXPECT_FALSE(readTrace(T, Path, &Err));
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(readTrace(T, "no_such_file.trace", &Err));
+}
+
+TEST(PerfettoTest, ExportHasExpectedShape) {
+  TxTrace T = recordSmallRun(Variant::HVSorting);
+  std::string Path = "subsystem_perfetto.json";
+  std::string Err;
+  ASSERT_TRUE(writePerfettoJson(T, Path, /*IncludeInstants=*/false, &Err))
+      << Err;
+
+  std::ifstream F(Path);
+  std::stringstream Buf;
+  Buf << F.rdbuf();
+  std::string Json = Buf.str();
+  std::remove(Path.c_str());
+
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("\"SM 0\""), std::string::npos);
+  EXPECT_NE(Json.find("\"tx commit\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"workload\":\"RA\""), std::string::npos);
+  if (T.Meta.Counters.Aborts > 0) {
+    EXPECT_NE(Json.find("\"outcome\":\"abort\""), std::string::npos);
+  }
+}
+
+TEST(ReportTest, LabyrinthAbortAttributionMatchesHarness) {
+  workloads::Labyrinth::Params P;
+  P.GridN = 24;
+  P.NumRoutes = 48;
+  P.ExpansionCycles = 200;
+  auto W = std::make_unique<workloads::Labyrinth>(P);
+  workloads::HarnessConfig HC = smallConfig(Variant::HVSorting);
+  HC.Launches = {simt::LaunchConfig{8, 32}};
+  TxTraceRecorder Recorder;
+  HC.Recorder = &Recorder;
+  workloads::HarnessResult R = workloads::runWorkload(*W, HC);
+  ASSERT_TRUE(R.Completed && R.Verified) << R.Error;
+
+  TraceReport Rep = analyzeTrace(Recorder.trace());
+  uint64_t CauseSum = 0;
+  for (uint64_t N : Rep.AbortsByCause)
+    CauseSum += N;
+  EXPECT_EQ(CauseSum, R.Stm.Aborts);
+  EXPECT_EQ(Rep.Commits, R.Stm.Commits);
+  EXPECT_TRUE(Rep.CausesMatchCounters);
+}
+
+TEST(HarnessEnvTest, GpustmTraceRecordsAndRoundTrips) {
+  std::string Path = "subsystem_env.trace";
+  ASSERT_EQ(setenv("GPUSTM_TRACE", Path.c_str(), 1), 0);
+  auto W = smallRandomArray();
+  workloads::HarnessResult R =
+      workloads::runWorkload(*W, smallConfig(Variant::TBVSorting));
+  ASSERT_EQ(unsetenv("GPUSTM_TRACE"), 0);
+  ASSERT_TRUE(R.Completed && R.Verified) << R.Error;
+
+  TxTrace T;
+  std::string Err;
+  ASSERT_TRUE(readTrace(T, Path, &Err)) << Err;
+  std::remove(Path.c_str());
+  EXPECT_EQ(T.Meta.Workload, "RA");
+  EXPECT_EQ(T.Meta.Kind, Variant::TBVSorting);
+  EXPECT_EQ(T.Meta.Counters.Commits, R.Stm.Commits);
+  CheckResult C = checkTrace(T);
+  EXPECT_TRUE(C.ok()) << checkStatusName(C.Status) << ": " << C.Message;
+}
+
+TEST(HarnessEnvTest, ConfiguredTracePathGetsRunSuffix) {
+  // Two runs against the same configured path: the second must not
+  // clobber the first.
+  std::string Path = "subsystem_suffix.trace";
+  workloads::HarnessConfig HC = smallConfig(Variant::HVSorting);
+  HC.TracePath = Path;
+  auto W1 = smallRandomArray();
+  ASSERT_TRUE(workloads::runWorkload(*W1, HC).Verified);
+  auto W2 = smallRandomArray();
+  ASSERT_TRUE(workloads::runWorkload(*W2, HC).Verified);
+
+  TxTrace A, B;
+  std::string Err;
+  EXPECT_TRUE(readTrace(A, Path, &Err)) << Err;
+  EXPECT_TRUE(readTrace(B, Path + ".1", &Err)) << Err;
+  std::remove(Path.c_str());
+  std::remove((Path + ".1").c_str());
+}
+
+} // namespace
