@@ -16,9 +16,11 @@
 
 #include "support/EnvOptions.h"
 #include "support/Format.h"
+#include "support/Parallel.h"
 #include "workloads/All.h"
 #include "workloads/Harness.h"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -39,8 +41,50 @@ inline void printBanner(const char *Title, const char *PaperArtifact) {
   std::printf("%s\n", Title);
   std::printf("Reproduces: %s  (GPU-STM, CGO 2014)\n", PaperArtifact);
   std::printf("Scale: %u (set GPUSTM_SCALE to change)\n", benchScale());
+  if (hostJobs() > 1)
+    std::printf("Host jobs: %u (GPUSTM_JOBS; results identical to serial)\n",
+                hostJobs());
   std::printf("==============================================================="
               "=========\n");
+}
+
+/// Deterministic sweep runner: every matrix cell of a bench is an
+/// independent single-threaded simulation (its own Device, StmRuntime, and
+/// Workload built inside \p Cell), so cells run concurrently on GPUSTM_JOBS
+/// host threads.  Results come back in cell-index order regardless of the
+/// interleaving, so rendering -- and every modeled number -- is bit-identical
+/// to a serial run.  Benches build the full cell list first, call this, then
+/// render sequentially.
+template <typename R>
+std::vector<R> runSweep(size_t NumCells, const std::function<R(size_t)> &Cell) {
+  return parallelMapIndexed<R>(NumCells, hostJobs(), Cell);
+}
+
+/// Apply the GPUSTM_BENCH_WORKLOADS filter (comma-separated workload names)
+/// to \p Names, preserving order.  Empty/unset keeps every workload.  Used
+/// by tests and CI to run reduced matrices.
+inline std::vector<std::string>
+filterWorkloads(std::vector<std::string> Names) {
+  std::string Filter = envString("GPUSTM_BENCH_WORKLOADS", "");
+  if (Filter.empty())
+    return Names;
+  std::vector<std::string> Wanted;
+  for (size_t Pos = 0; Pos <= Filter.size();) {
+    size_t Comma = Filter.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Filter.size();
+    if (Comma > Pos)
+      Wanted.push_back(Filter.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  std::vector<std::string> Out;
+  for (const std::string &N : Names)
+    for (const std::string &W : Wanted)
+      if (N == W) {
+        Out.push_back(N);
+        break;
+      }
+  return Out;
 }
 
 /// "3.42x" style speedup cell.
@@ -114,7 +158,8 @@ public:
     std::string Fields;
   };
 
-  explicit BenchJson(const std::string &Name) : Name(Name) {}
+  explicit BenchJson(const std::string &Name)
+      : Name(Name), Start(std::chrono::steady_clock::now()) {}
   BenchJson(const BenchJson &) = delete;
   BenchJson &operator=(const BenchJson &) = delete;
   ~BenchJson() {
@@ -124,17 +169,26 @@ public:
 
   Row row() { return Row(*this); }
 
-  /// Write BENCH_<name>.json now (also called by the destructor).
+  /// Write BENCH_<name>.json now (also called by the destructor).  The
+  /// header carries the host throughput context: the worker count and the
+  /// bench's total wall time (construction to write).  Comparisons for
+  /// determinism must exclude the wall_ms* fields.
   void write() {
     Written = true;
+    double WallMsTotal =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
     std::string Path = "BENCH_" + Name + ".json";
     std::FILE *F = std::fopen(Path.c_str(), "w");
     if (!F) {
       std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
       return;
     }
-    std::fprintf(F, "{\"bench\":\"%s\",\"scale\":%u,\"rows\":[\n",
-                 Name.c_str(), benchScale());
+    std::fprintf(
+        F, "{\"bench\":\"%s\",\"scale\":%u,\"jobs\":%u,\"wall_ms_total\":%.3f,",
+        Name.c_str(), benchScale(), hostJobs(), WallMsTotal);
+    std::fprintf(F, "\"rows\":[\n");
     for (size_t I = 0; I < Rows.size(); ++I)
       std::fprintf(F, "%s%s\n", Rows[I].c_str(),
                    I + 1 < Rows.size() ? "," : "");
@@ -146,8 +200,21 @@ public:
 private:
   std::string Name;
   std::vector<std::string> Rows;
+  std::chrono::steady_clock::time_point Start;
   bool Written = false;
 };
+
+/// Append the standard host-side throughput fields to a JSON row:
+/// wall_ms (host time simulating the cell), rounds_per_sec (simulated warp
+/// rounds per host second), switches_per_round (lane fiber switches per
+/// round).  Wall-clock fields vary run to run and are excluded from
+/// determinism comparisons.
+inline BenchJson::Row &wallFields(BenchJson::Row &Row,
+                                  const workloads::HarnessResult &R) {
+  return Row.num("wall_ms", R.wallMs())
+      .num("rounds_per_sec", R.roundsPerSec())
+      .num("switches_per_round", R.switchesPerRound());
+}
 
 } // namespace bench
 } // namespace gpustm

@@ -24,21 +24,39 @@ int main() {
               "Section 3.1 (coalesced log organization, as in KILO TM)");
 
   BenchJson Json("ablate_coalescing");
+
+  const unsigned ThreadCounts[] = {1024u, 4096u, 8192u};
+  const bool Layouts[] = {true, false};
+  struct Cell {
+    unsigned Threads = 0;
+    bool Coalesced = true;
+  };
+  std::vector<Cell> Cells;
+  for (unsigned Threads : ThreadCounts)
+    for (bool Coalesced : Layouts)
+      Cells.push_back({Threads, Coalesced});
+
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
+        RandomArray::Params P;
+        P.ArrayWords = (256u << 10) * Scale;
+        P.NumTx = 8192 * Scale;
+        RandomArray W(P);
+        HarnessConfig HC;
+        HC.Kind = stm::Variant::HVSorting;
+        HC.Launches = {{Cells[I].Threads / 256, 256}};
+        HC.NumLocks = (64u << 10) * Scale;
+        HC.CoalescedLogs = Cells[I].Coalesced;
+        return runWorkload(W, HC);
+      });
+
   std::printf("%-10s %-12s %18s %15s %12s\n", "threads", "layout",
               "mem-transactions", "cycles", "vs-coalesced");
-  for (unsigned Threads : {1024u, 4096u, 8192u}) {
+  size_t CellIdx = 0;
+  for (unsigned Threads : ThreadCounts) {
     uint64_t Base = 0;
-    for (bool Coalesced : {true, false}) {
-      RandomArray::Params P;
-      P.ArrayWords = (256u << 10) * Scale;
-      P.NumTx = 8192 * Scale;
-      RandomArray W(P);
-      HarnessConfig HC;
-      HC.Kind = stm::Variant::HVSorting;
-      HC.Launches = {{Threads / 256, 256}};
-      HC.NumLocks = (64u << 10) * Scale;
-      HC.CoalescedLogs = Coalesced;
-      HarnessResult R = runWorkload(W, HC);
+    for (bool Coalesced : Layouts) {
+      const HarnessResult &R = Results[CellIdx++];
       if (!R.Completed || !R.Verified) {
         std::printf("%-10u %-12s FAILED (%s)\n", Threads,
                     Coalesced ? "coalesced" : "per-thread", R.Error.c_str());
@@ -46,10 +64,12 @@ int main() {
       }
       if (Coalesced)
         Base = R.TotalCycles;
-      Json.row().num("threads", static_cast<uint64_t>(Threads))
+      auto Row = Json.row();
+      Row.num("threads", static_cast<uint64_t>(Threads))
           .str("layout", Coalesced ? "coalesced" : "per-thread")
           .num("mem_transactions", R.Sim.get("simt.mem_transactions"))
           .num("cycles", R.TotalCycles);
+      wallFields(Row, R);
       std::printf("%-10u %-12s %18llu %15llu %12s\n", Threads,
                   Coalesced ? "coalesced" : "per-thread",
                   static_cast<unsigned long long>(

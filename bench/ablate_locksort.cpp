@@ -85,27 +85,48 @@ int main() {
               "selector (paper future work) on RA as conflicts rise\n");
   std::printf("%-12s %15s %12s %15s %12s %15s %12s\n", "array-words", "sorted",
               "aborts", "backoff", "aborts", "adaptive", "aborts");
-  for (size_t ArrayWords : {1u << 18, 1u << 14, 1u << 11}) {
+
+  const size_t ArraySizes[] = {1u << 18, 1u << 14, 1u << 11};
+  struct Cell {
+    size_t ArrayWords = 0;
+    int Policy = 0;
+  };
+  std::vector<Cell> Cells;
+  for (size_t ArrayWords : ArraySizes)
+    for (int I = 0; I < 3; ++I)
+      Cells.push_back({ArrayWords, I});
+
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Cells.size(), [&](size_t CI) {
+        RandomArray::Params P;
+        P.ArrayWords = Cells[CI].ArrayWords;
+        P.NumTx = 8192 * Scale;
+        RandomArray W(P);
+        int I = Cells[CI].Policy;
+        HarnessConfig HC;
+        HC.Kind = I == 1 ? stm::Variant::HVBackoff : stm::Variant::HVSorting;
+        HC.AdaptiveLocking = I == 2;
+        HC.Launches = {{32u * Scale, 256}};
+        HC.NumLocks = 1u << 16;
+        return runWorkload(W, HC);
+      });
+
+  size_t CellIdx = 0;
+  for (size_t ArrayWords : ArraySizes) {
     uint64_t Cycles[3];
     double Aborts[3];
     for (int I = 0; I < 3; ++I) {
-      RandomArray::Params P;
-      P.ArrayWords = ArrayWords;
-      P.NumTx = 8192 * Scale;
-      RandomArray W(P);
-      HarnessConfig HC;
-      HC.Kind = I == 1 ? stm::Variant::HVBackoff : stm::Variant::HVSorting;
-      HC.AdaptiveLocking = I == 2;
-      HC.Launches = {{32u * Scale, 256}};
-      HC.NumLocks = 1u << 16;
-      HarnessResult R = runWorkload(W, HC);
+      const HarnessResult &R = Results[CellIdx++];
       Cycles[I] = R.Completed && R.Verified ? R.TotalCycles : 0;
       Aborts[I] = R.abortRate();
       static const char *Policies[] = {"sorted", "backoff", "adaptive"};
-      Json.row().str("part", "ra-sweep")
+      auto Row = Json.row();
+      Row.str("part", "ra-sweep")
           .num("array_words", static_cast<uint64_t>(ArrayWords))
-          .str("policy", Policies[I]).num("cycles", Cycles[I])
+          .str("policy", Policies[I])
+          .num("cycles", Cycles[I])
           .num("abort_rate", Aborts[I]);
+      wallFields(Row, R);
     }
     std::printf("%-12s %15llu %12s %15llu %12s %15llu %12s\n",
                 formatCount(ArrayWords).c_str(),

@@ -39,16 +39,22 @@ int main() {
       {"static-128", 128}, {"static-512", 512}, {"adaptive", ~0u},
   };
   BenchJson Json("ablate_scheduler");
-  for (const CapCase &C : Cases) {
-    KMeans::Params P;
-    P.NumPoints = 8192 * Scale;
-    KMeans W(P);
-    HarnessConfig HC;
-    HC.Kind = stm::Variant::HVSorting;
-    HC.Launches = {{32u * Scale, 128}};
-    HC.NumLocks = 1u << 14;
-    HC.SchedulerCap = C.Cap;
-    HarnessResult R = runWorkload(W, HC);
+  const size_t NumCases = sizeof(Cases) / sizeof(Cases[0]);
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(NumCases, [&](size_t I) {
+        KMeans::Params P;
+        P.NumPoints = 8192 * Scale;
+        KMeans W(P);
+        HarnessConfig HC;
+        HC.Kind = stm::Variant::HVSorting;
+        HC.Launches = {{32u * Scale, 128}};
+        HC.NumLocks = 1u << 14;
+        HC.SchedulerCap = Cases[I].Cap;
+        return runWorkload(W, HC);
+      });
+  for (size_t I = 0; I < NumCases; ++I) {
+    const CapCase &C = Cases[I];
+    const HarnessResult &R = Results[I];
     if (!R.Completed || !R.Verified) {
       std::printf("%-12s FAILED (%s)\n", C.Label, R.Error.c_str());
       continue;
@@ -56,8 +62,10 @@ int main() {
     std::printf("%-12s %15llu %12s\n", C.Label,
                 static_cast<unsigned long long>(R.TotalCycles),
                 fmtPercent(R.abortRate()).c_str());
-    Json.row().str("cap", C.Label).num("cycles", R.TotalCycles)
+    auto Row = Json.row();
+    Row.str("cap", C.Label).num("cycles", R.TotalCycles)
         .num("abort_rate", R.abortRate());
+    wallFields(Row, R);
     std::fflush(stdout);
   }
   std::printf("\nKM's tiny shared data makes unlimited concurrency abort "

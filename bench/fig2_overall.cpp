@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
+#include "support/Error.h"
 
 using namespace gpustm;
 using namespace gpustm::bench;
@@ -35,39 +36,74 @@ int main() {
   // lock count (false conflicts appear), HT/GN/KM stay below it.
   size_t NumLocks = (64u << 10) * Scale;
   BenchJson Json("fig2_overall");
+  std::vector<stm::Variant> Variants = figure2Variants();
+  std::vector<std::string> Names = filterWorkloads(figure2WorkloadNames());
 
-  std::printf("%-4s %-10s", "WL", "CGL-cycles");
-  for (stm::Variant V : figure2Variants())
-    std::printf(" %15s", stm::variantName(V));
-  std::printf("\n");
-
-  for (const std::string &Name : figure2WorkloadNames()) {
+  // Build the full (workload x (CGL + variant)) cell list, run it on the
+  // sweep runner, then render in matrix order.
+  struct Cell {
+    std::string Workload;
+    stm::Variant Kind = stm::Variant::CGL;
+    HarnessConfig HC;
+  };
+  std::vector<Cell> Cells;
+  for (const std::string &Name : Names) {
     HarnessConfig HC;
     HC.Launches = launchFor(Name, Scale);
     HC.NumLocks = NumLocks;
+    HarnessConfig CglHC = HC;
+    CglHC.Kind = stm::Variant::CGL;
+    Cells.push_back({Name, stm::Variant::CGL, CglHC});
+    for (stm::Variant V : Variants) {
+      HarnessConfig Run = HC;
+      Run.Kind = V;
+      Cells.push_back({Name, V, Run});
+    }
+  }
 
-    auto Baseline = makeWorkload(Name, Scale);
-    uint64_t Cgl = cglBaselineCycles(*Baseline, HC);
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
+        auto W = makeWorkload(Cells[I].Workload, Scale);
+        return runWorkload(*W, Cells[I].HC);
+      });
+
+  std::printf("%-4s %-10s", "WL", "CGL-cycles");
+  for (stm::Variant V : Variants)
+    std::printf(" %15s", stm::variantName(V));
+  std::printf("\n");
+
+  size_t CellIdx = 0;
+  for (const std::string &Name : Names) {
+    const HarnessResult &CglR = Results[CellIdx++];
+    if (!CglR.Completed || !CglR.Verified)
+      reportFatalError("CGL baseline failed: " + CglR.Error);
+    uint64_t Cgl = CglR.TotalCycles;
     std::printf("%-4s %-10llu", Name.c_str(),
                 static_cast<unsigned long long>(Cgl));
 
-    for (stm::Variant V : figure2Variants()) {
-      auto W = makeWorkload(Name, Scale);
-      HarnessConfig Run = HC;
-      Run.Kind = V;
-      HarnessResult R = runWorkload(*W, Run);
+    for (stm::Variant V : Variants) {
+      const HarnessResult &R = Results[CellIdx++];
       if (!R.Completed || !R.Verified) {
         std::printf(" %15s", R.Completed ? "UNVERIFIED" : "FAILED");
-        Json.row().str("workload", Name).str("variant", stm::variantName(V))
-            .num("cgl_cycles", Cgl).flag("ok", false);
+        auto Row = Json.row();
+        Row.str("workload", Name)
+            .str("variant", stm::variantName(V))
+            .num("cgl_cycles", Cgl)
+            .flag("ok", false);
+        wallFields(Row, R);
         continue;
       }
       double Speedup = static_cast<double>(Cgl) / R.TotalCycles;
       std::printf(" %15s", fmtSpeedup(Speedup).c_str());
-      Json.row().str("workload", Name).str("variant", stm::variantName(V))
-          .num("cgl_cycles", Cgl).num("cycles", R.TotalCycles)
-          .num("speedup", Speedup).num("abort_rate", R.abortRate())
+      auto Row = Json.row();
+      Row.str("workload", Name)
+          .str("variant", stm::variantName(V))
+          .num("cgl_cycles", Cgl)
+          .num("cycles", R.TotalCycles)
+          .num("speedup", Speedup)
+          .num("abort_rate", R.abortRate())
           .flag("ok", true);
+      wallFields(Row, R);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
+#include "support/Error.h"
 #include "workloads/RandomArray.h"
 
 using namespace gpustm;
@@ -46,11 +47,13 @@ int main() {
       stm::Variant::Optimized};
 
   BenchJson Json("fig3_scalability");
-  std::printf("%-8s %-12s", "threads", "CGL-cycles");
-  for (stm::Variant V : Variants)
-    std::printf(" %15s", stm::variantName(V));
-  std::printf("\n");
 
+  // Cell list: (thread count) x (CGL + variants), run on the sweep runner.
+  struct Cell {
+    unsigned Threads = 0;
+    HarnessConfig HC;
+  };
+  std::vector<Cell> Cells;
   for (unsigned Threads : ThreadCounts) {
     simt::LaunchConfig L;
     L.BlockDim = Threads >= 256 ? 256 : Threads;
@@ -58,29 +61,56 @@ int main() {
     HarnessConfig HC;
     HC.Launches = {L};
     HC.NumLocks = (64u << 10) * Scale;
+    HarnessConfig CglHC = HC;
+    CglHC.Kind = stm::Variant::CGL;
+    Cells.push_back({Threads, CglHC});
+    for (stm::Variant V : Variants) {
+      HarnessConfig Run = HC;
+      Run.Kind = V;
+      Cells.push_back({Threads, Run});
+    }
+  }
 
-    auto Baseline = raFor(Scale);
-    uint64_t Cgl = cglBaselineCycles(*Baseline, HC);
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
+        auto W = raFor(Scale);
+        return runWorkload(*W, Cells[I].HC);
+      });
+
+  std::printf("%-8s %-12s", "threads", "CGL-cycles");
+  for (stm::Variant V : Variants)
+    std::printf(" %15s", stm::variantName(V));
+  std::printf("\n");
+
+  size_t CellIdx = 0;
+  for (unsigned Threads : ThreadCounts) {
+    const HarnessResult &CglR = Results[CellIdx++];
+    if (!CglR.Completed || !CglR.Verified)
+      reportFatalError("CGL baseline failed: " + CglR.Error);
+    uint64_t Cgl = CglR.TotalCycles;
     std::printf("%-8u %-12llu", Threads, static_cast<unsigned long long>(Cgl));
 
     for (stm::Variant V : Variants) {
-      auto W = raFor(Scale);
-      HarnessConfig Run = HC;
-      Run.Kind = V;
-      HarnessResult R = runWorkload(*W, Run);
+      const HarnessResult &R = Results[CellIdx++];
       if (!R.Completed || !R.Verified) {
         std::printf(" %15s", "FAILED");
-        Json.row().num("threads", static_cast<uint64_t>(Threads))
-            .str("variant", stm::variantName(V)).flag("ok", false);
+        auto Row = Json.row();
+        Row.num("threads", static_cast<uint64_t>(Threads))
+            .str("variant", stm::variantName(V))
+            .flag("ok", false);
+        wallFields(Row, R);
         continue;
       }
       std::printf(" %15s",
                   fmtSpeedup(static_cast<double>(Cgl) / R.TotalCycles).c_str());
-      Json.row().num("threads", static_cast<uint64_t>(Threads))
-          .str("variant", stm::variantName(V)).num("cgl_cycles", Cgl)
+      auto Row = Json.row();
+      Row.num("threads", static_cast<uint64_t>(Threads))
+          .str("variant", stm::variantName(V))
+          .num("cgl_cycles", Cgl)
           .num("cycles", R.TotalCycles)
           .num("speedup", static_cast<double>(Cgl) / R.TotalCycles)
           .flag("ok", true);
+      wallFields(Row, R);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
+#include "support/Error.h"
 #include "workloads/EigenBench.h"
 
 using namespace gpustm;
@@ -48,12 +49,16 @@ int main() {
   std::vector<unsigned> ThreadCounts = {1024, 4096, 16384};
 
   BenchJson Json("fig4_hv_vs_tbv");
+  const stm::Variant PanelVariants[2] = {stm::Variant::TBVSorting,
+                                         stm::Variant::HVSorting};
+
+  // Cell list: (shared x threads x locks) x (CGL + TBV + HV).
+  struct Cell {
+    size_t Shared = 0;
+    HarnessConfig HC;
+  };
+  std::vector<Cell> Cells;
   for (size_t Shared : SharedSizes) {
-    std::printf("\n--- shared data = %s words ---\n",
-                formatCount(Shared).c_str());
-    std::printf("%-8s %-10s", "threads", "locks");
-    std::printf(" %12s %12s %12s %12s\n", "TBV-speedup", "HV-speedup",
-                "TBV-aborts", "HV-aborts");
     for (unsigned Threads : ThreadCounts) {
       simt::LaunchConfig L;
       L.BlockDim = 256;
@@ -62,30 +67,56 @@ int main() {
         HarnessConfig HC;
         HC.Launches = {L};
         HC.NumLocks = Locks;
+        HarnessConfig CglHC = HC;
+        CglHC.Kind = stm::Variant::CGL;
+        Cells.push_back({Shared, CglHC});
+        for (stm::Variant V : PanelVariants) {
+          HarnessConfig Run = HC;
+          Run.Kind = V;
+          Cells.push_back({Shared, Run});
+        }
+      }
+    }
+  }
 
-        auto Baseline = ebFor(Shared, Scale);
-        uint64_t Cgl = cglBaselineCycles(*Baseline, HC);
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
+        auto W = ebFor(Cells[I].Shared, Scale);
+        return runWorkload(*W, Cells[I].HC);
+      });
+
+  size_t CellIdx = 0;
+  for (size_t Shared : SharedSizes) {
+    std::printf("\n--- shared data = %s words ---\n",
+                formatCount(Shared).c_str());
+    std::printf("%-8s %-10s", "threads", "locks");
+    std::printf(" %12s %12s %12s %12s\n", "TBV-speedup", "HV-speedup",
+                "TBV-aborts", "HV-aborts");
+    for (unsigned Threads : ThreadCounts) {
+      for (size_t Locks : LockCounts) {
+        const HarnessResult &CglR = Results[CellIdx++];
+        if (!CglR.Completed || !CglR.Verified)
+          reportFatalError("CGL baseline failed: " + CglR.Error);
+        uint64_t Cgl = CglR.TotalCycles;
 
         double Speedup[2] = {0, 0};
         double AbortRate[2] = {0, 0};
-        stm::Variant Variants[2] = {stm::Variant::TBVSorting,
-                                    stm::Variant::HVSorting};
         for (int I = 0; I < 2; ++I) {
-          auto W = ebFor(Shared, Scale);
-          HarnessConfig Run = HC;
-          Run.Kind = Variants[I];
-          HarnessResult R = runWorkload(*W, Run);
+          const HarnessResult &R = Results[CellIdx++];
           if (!R.Completed || !R.Verified) {
             Speedup[I] = -1;
             continue;
           }
           Speedup[I] = static_cast<double>(Cgl) / R.TotalCycles;
           AbortRate[I] = R.abortRate();
-          Json.row().num("shared_words", static_cast<uint64_t>(Shared))
+          auto Row = Json.row();
+          Row.num("shared_words", static_cast<uint64_t>(Shared))
               .num("threads", static_cast<uint64_t>(Threads))
               .num("locks", static_cast<uint64_t>(Locks))
-              .str("variant", stm::variantName(Variants[I]))
-              .num("speedup", Speedup[I]).num("abort_rate", AbortRate[I]);
+              .str("variant", stm::variantName(PanelVariants[I]))
+              .num("speedup", Speedup[I])
+              .num("abort_rate", AbortRate[I]);
+          wallFields(Row, R);
         }
         std::printf("%-8u %-10s %12s %12s %12s %12s\n", Threads,
                     formatCount(Locks).c_str(), fmtSpeedup(Speedup[0]).c_str(),

@@ -54,18 +54,24 @@ int main() {
     std::printf(" %12s", P);
   std::printf("\n");
 
-  for (const Row &R : Rows) {
-    // One thread: a 1x1 launch measures pure per-transaction overhead.
-    auto W = makeWorkload(R.WorkloadName, 1);
-    HarnessConfig HC;
-    HC.Kind = stm::Variant::Optimized;
-    HC.NumLocks = 1u << 16;
-    HC.Launches = {{1, 1}, {1, 1}};
+  // One cell per panel row (each is a fresh workload on a 1x1 launch).
+  const size_t NumRows = sizeof(Rows) / sizeof(Rows[0]);
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(NumRows, [&](size_t I) {
+        // One thread: a 1x1 launch measures pure per-transaction overhead.
+        // Run the stock scale-1 workload on one thread (tasks execute
+        // serially); that is enough transactions for stable proportions.
+        auto W = makeWorkload(Rows[I].WorkloadName, 1);
+        HarnessConfig HC;
+        HC.Kind = stm::Variant::Optimized;
+        HC.NumLocks = 1u << 16;
+        HC.Launches = {{1, 1}, {1, 1}};
+        return runWorkload(*W, HC);
+      });
 
-    // Trim task counts through the scale-1 defaults; a single thread only
-    // needs enough transactions for stable proportions, so run the stock
-    // workload but on one thread (tasks all execute serially).
-    HarnessResult HR = runWorkload(*W, HC);
+  for (size_t RowIdx = 0; RowIdx < NumRows; ++RowIdx) {
+    const Row &R = Rows[RowIdx];
+    const HarnessResult &HR = Results[RowIdx];
     if (!HR.Completed || !HR.Verified) {
       std::printf("%-6s FAILED (%s)\n", R.Label, HR.Error.c_str());
       continue;
@@ -92,6 +98,7 @@ int main() {
         std::printf(" %12s", fmtPercent(Share).c_str());
         Row.num(Phases[I], Share);
       }
+      wallFields(Row, HR);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -112,6 +112,100 @@ BENCHMARK(BM_LockLogInsert)
     ->ArgNames({"locks", "buckets", "ascending"});
 
 //===----------------------------------------------------------------------===//
+// SM scheduler pick: many resident warps parked on long-latency loads, so
+// every round the per-SM scheduler selects among a full candidate set.
+// Exercises the issue-time-keyed candidate tracking in Device.cpp (items
+// are warp rounds; higher is better).
+//===----------------------------------------------------------------------===//
+
+void BM_SchedulerPick(benchmark::State &State) {
+  DeviceConfig DC;
+  DC.MemoryWords = 1u << 20;
+  DC.NumSMs = 1; // all warps compete on one SM's scheduler
+  Device Dev(DC);
+  Addr A = Dev.hostAlloc(1u << 16);
+  uint64_t Rounds = 0;
+  for (auto _ : State) {
+    LaunchConfig L{6, 256}; // 48 warps resident (Fermi cap: 1536 threads)
+    LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+      for (int I = 0; I < 64; ++I)
+        benchmark::DoNotOptimize(
+            Ctx.load(A + ((Ctx.globalThreadId() * 33 + I * 977) & 0xffff)));
+    });
+    Rounds += R.TotalRounds;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Rounds));
+}
+BENCHMARK(BM_SchedulerPick);
+
+//===----------------------------------------------------------------------===//
+// Masked-lane skip: one lane of a full warp runs a long divergent branch
+// while the other 31 are masked off.  Measures the per-round engine cost of
+// carrying masked lanes (they must cost no fiber switches; items are warp
+// rounds of the mostly-masked warp).
+//===----------------------------------------------------------------------===//
+
+void BM_MaskedLaneSkip(benchmark::State &State) {
+  DeviceConfig DC;
+  DC.MemoryWords = 1u << 16;
+  DC.NumSMs = 1;
+  Device Dev(DC);
+  Addr A = Dev.hostAlloc(64);
+  uint64_t Rounds = 0;
+  for (auto _ : State) {
+    LaunchConfig L{1, 32};
+    LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+      Ctx.simtIf(Ctx.laneId() == 0, [&] {
+        for (int I = 0; I < 512; ++I)
+          Ctx.store(A, static_cast<Word>(I));
+      });
+    });
+    Rounds += R.TotalRounds;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Rounds));
+}
+BENCHMARK(BM_MaskedLaneSkip);
+
+//===----------------------------------------------------------------------===//
+// Watchpoint wake: two single-thread blocks ping-pong through memWait
+// parking.  Every iteration parks one thread and wakes it with a store on
+// the other side, measuring Device::addWatch / notifyWriteSlow round trips
+// (items are individual wakes).
+//===----------------------------------------------------------------------===//
+
+void BM_WatchpointWake(benchmark::State &State) {
+  DeviceConfig DC;
+  DC.MemoryWords = 1u << 16;
+  Device Dev(DC);
+  Addr A = Dev.hostAlloc(2);
+  constexpr Word Iters = 256;
+  uint64_t Wakes = 0;
+  for (auto _ : State) {
+    Dev.memory().store(A, 0);
+    Dev.memory().store(A + 1, 0);
+    LaunchConfig L{2, 1};
+    Dev.launch(L, [&](ThreadCtx &Ctx) {
+      Addr Mine = A + Ctx.blockIdx();
+      Addr Theirs = A + 1 - Ctx.blockIdx();
+      for (Word K = 1; K <= Iters; ++K) {
+        if (Ctx.blockIdx() == 0)
+          Ctx.store(Mine, K);
+        for (;;) {
+          if (Ctx.load(Theirs) >= K)
+            break;
+          Ctx.memWaitGreaterEq(Theirs, K);
+        }
+        if (Ctx.blockIdx() != 0)
+          Ctx.store(Mine, K);
+      }
+    });
+    Wakes += 2 * Iters;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Wakes));
+}
+BENCHMARK(BM_WatchpointWake);
+
+//===----------------------------------------------------------------------===//
 // Warp-round throughput of the simulator
 //===----------------------------------------------------------------------===//
 

@@ -25,14 +25,22 @@ int main() {
               "RD/TX", "WR/TX", "TX/kernel", "TX-time", "conflicts");
 
   BenchJson Json("table1_characteristics");
-  std::vector<std::string> Names = {"RA", "HT", "EB", "GN", "LB", "KM"};
-  for (const std::string &Name : Names) {
+  std::vector<std::string> Names =
+      filterWorkloads({"RA", "HT", "EB", "GN", "LB", "KM"});
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Names.size(), [&](size_t I) {
+        auto W = makeWorkload(Names[I], Scale);
+        HarnessConfig HC;
+        HC.Kind = stm::Variant::Optimized;
+        HC.Launches = launchFor(Names[I], Scale);
+        HC.NumLocks = (64u << 10) * Scale;
+        return runWorkload(*W, HC);
+      });
+  for (size_t NameIdx = 0; NameIdx < Names.size(); ++NameIdx) {
+    const std::string &Name = Names[NameIdx];
+    // Fresh instance for the static characteristics (shared size, kernels).
     auto W = makeWorkload(Name, Scale);
-    HarnessConfig HC;
-    HC.Kind = stm::Variant::Optimized;
-    HC.Launches = launchFor(Name, Scale);
-    HC.NumLocks = (64u << 10) * Scale;
-    HarnessResult R = runWorkload(*W, HC);
+    const HarnessResult &R = Results[NameIdx];
     if (!R.Completed || !R.Verified) {
       std::printf("%-4s FAILED (%s)\n", Name.c_str(), R.Error.c_str());
       continue;
@@ -50,12 +58,15 @@ int main() {
                 formatCount(W->sharedDataWords()).c_str(), RdPerTx, WrPerTx,
                 TxPerKernel, fmtPercent(R.txTimeProportion()).c_str(),
                 fmtPercent(R.abortRate()).c_str());
-    Json.row().str("workload", Name)
+    auto Row = Json.row();
+    Row.str("workload", Name)
         .num("shared_words", static_cast<uint64_t>(W->sharedDataWords()))
-        .num("reads_per_tx", RdPerTx).num("writes_per_tx", WrPerTx)
+        .num("reads_per_tx", RdPerTx)
+        .num("writes_per_tx", WrPerTx)
         .num("tx_per_kernel", TxPerKernel)
         .num("tx_time", R.txTimeProportion())
         .num("conflict_rate", R.abortRate());
+    wallFields(Row, R);
     std::fflush(stdout);
   }
   std::printf("\nShared data is in 32-bit words; RD/TX and WR/TX average "

@@ -29,19 +29,23 @@ int main() {
   std::vector<unsigned> Blocks = {8, 32, 64, 256};
 
   BenchJson Json("table2_launch_configs");
-  std::printf("%-6s %-14s %-12s %-14s\n", "WL", "best-config", "cycles",
-              "runner-up");
-  for (const std::string &Name : figure2WorkloadNames()) {
+
+  // Cell list: every (workload, kernel, grid, block) probe in sweep order.
+  struct Cell {
+    std::string Workload;
+    unsigned Kernel = 0;
+    HarnessConfig HC;
+  };
+  std::vector<Cell> Cells;
+  std::vector<std::string> Names = filterWorkloads(figure2WorkloadNames());
+  for (const std::string &Name : Names) {
     // Sweep each kernel of the workload independently, holding the other
     // kernel at the Figure 2 shape (matters only for GN).
     auto Probe = makeWorkload(Name, Scale);
     unsigned Kernels = Probe->numKernels();
     for (unsigned K = 0; K < Kernels; ++K) {
-      uint64_t BestCycles = ~uint64_t(0), SecondCycles = ~uint64_t(0);
-      simt::LaunchConfig Best{}, Second{};
       for (unsigned G : Grids) {
         for (unsigned B : Blocks) {
-          auto W = makeWorkload(Name, Scale);
           HarnessConfig HC;
           HC.Kind = stm::Variant::Optimized;
           HC.NumLocks = (64u << 10) * Scale;
@@ -50,7 +54,32 @@ int main() {
             HC.Launches[K] = {G, B};
           else
             HC.Launches.push_back({G, B});
-          HarnessResult R = runWorkload(*W, HC);
+          Cells.push_back({Name, K, HC});
+        }
+      }
+    }
+  }
+
+  std::vector<HarnessResult> Results =
+      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
+        auto W = makeWorkload(Cells[I].Workload, Scale);
+        return runWorkload(*W, Cells[I].HC);
+      });
+
+  std::printf("%-6s %-14s %-12s %-14s\n", "WL", "best-config", "cycles",
+              "runner-up");
+  size_t CellIdx = 0;
+  for (const std::string &Name : Names) {
+    auto Probe = makeWorkload(Name, Scale);
+    unsigned Kernels = Probe->numKernels();
+    for (unsigned K = 0; K < Kernels; ++K) {
+      uint64_t BestCycles = ~uint64_t(0), SecondCycles = ~uint64_t(0);
+      simt::LaunchConfig Best{}, Second{};
+      double WallMsKernel = 0;
+      for (unsigned G : Grids) {
+        for (unsigned B : Blocks) {
+          const HarnessResult &R = Results[CellIdx++];
+          WallMsKernel += R.wallMs();
           if (!R.Completed || !R.Verified)
             continue;
           uint64_t Cycles = R.KernelCycles[K];
@@ -72,12 +101,14 @@ int main() {
                   Best.GridDim, Best.BlockDim,
                   static_cast<unsigned long long>(BestCycles), Second.GridDim,
                   Second.BlockDim);
-      Json.row().str("kernel", Label)
+      Json.row()
+          .str("kernel", Label)
           .num("best_grid", static_cast<uint64_t>(Best.GridDim))
           .num("best_block", static_cast<uint64_t>(Best.BlockDim))
           .num("cycles", BestCycles)
           .num("second_grid", static_cast<uint64_t>(Second.GridDim))
-          .num("second_block", static_cast<uint64_t>(Second.BlockDim));
+          .num("second_block", static_cast<uint64_t>(Second.BlockDim))
+          .num("wall_ms", WallMsKernel);
       std::fflush(stdout);
     }
   }

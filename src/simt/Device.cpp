@@ -16,7 +16,8 @@ using namespace gpustm;
 using namespace gpustm::simt;
 
 Device::Device(const DeviceConfig &Config)
-    : Config(Config), Mem(Config.MemoryWords), Stacks(Config.StackBytes) {
+    : Config(Config), Mem(Config.MemoryWords),
+      Stacks(Config.StackBytes, StackPool::deviceLayout()) {
   if (Config.WarpSize < 1 || Config.WarpSize > 64)
     reportFatalError("warp size must be in [1, 64]");
   if (Config.NumSMs < 1)
@@ -120,17 +121,13 @@ void Device::rollupLane(const Lane &L) {
     AbortedTotal += L.TxTentative[P];
 }
 
-void Device::retireFinishedBlocks(SmState &Sm) {
+bool Device::retireFinishedBlocks(SmState &Sm) {
   bool Removed = false;
   for (size_t BI = 0; BI < Sm.Blocks.size();) {
     BlockState &B = *Sm.Blocks[BI];
-    bool Finished = true;
-    for (auto &W : B.Warps)
-      if (!W->allFinished()) {
-        Finished = false;
-        break;
-      }
-    if (!Finished) {
+    // LiveLanes counts unfinished lanes across the whole block, so the
+    // per-warp allFinished() scan reduces to one comparison.
+    if (B.LiveLanes != 0) {
       ++BI;
       continue;
     }
@@ -149,34 +146,51 @@ void Device::retireFinishedBlocks(SmState &Sm) {
   }
   if (Removed)
     Sm.RoundRobin = 0;
+  return Removed;
 }
 
 void Device::recomputeCandidate(SmState &Sm) {
+  // Round-robin scan from RoundRobin, wrapping once: two plain segments
+  // instead of a modulo per step.  The first ready-now warp in RR order
+  // wins; otherwise the warp with the earliest ReadyAt does.  Either way
+  // CandIssue ends up as the exact cycle the candidate will issue at
+  // (max(Clock, ReadyAt)), which the launch loop relies on.
   Sm.CandWarp = nullptr;
   size_t N = Sm.WarpList.size();
   if (N == 0)
     return;
   uint64_t BestReady = ~uint64_t(0);
   Warp *Best = nullptr;
-  for (size_t K = 0; K < N; ++K) {
-    size_t Idx = (Sm.RoundRobin + K) % N;
-    Warp *W = Sm.WarpList[Idx];
-    if (!W->hasRunnableLane())
-      continue;
-    if (W->ReadyAt <= Sm.Clock) {
-      Sm.CandWarp = W;
-      Sm.CandIssue = Sm.Clock;
-      return;
+  size_t BestIdx = 0;
+  auto Scan = [&](size_t Begin, size_t End) -> bool {
+    for (size_t Idx = Begin; Idx < End; ++Idx) {
+      Warp *W = Sm.WarpList[Idx];
+      if (!W->hasRunnableLane())
+        continue;
+      if (W->ReadyAt <= Sm.Clock) {
+        Sm.CandWarp = W;
+        Sm.CandIssue = Sm.Clock;
+        Sm.CandIdx = static_cast<unsigned>(Idx);
+        return true;
+      }
+      if (W->ReadyAt < BestReady) {
+        BestReady = W->ReadyAt;
+        Best = W;
+        BestIdx = Idx;
+      }
     }
-    if (W->ReadyAt < BestReady) {
-      BestReady = W->ReadyAt;
-      Best = W;
-    }
-  }
-  if (Best) {
+    return false;
+  };
+  size_t RR = Sm.RoundRobin % N;
+  if (!(Scan(RR, N) || Scan(0, RR)) && Best) {
     Sm.CandWarp = Best;
     Sm.CandIssue = BestReady;
+    Sm.CandIdx = static_cast<unsigned>(BestIdx);
   }
+  // The candidate usually issues within a round or two; start pulling its
+  // first lane's switch frame into the host cache now (hint only).
+  if (Sm.CandWarp)
+    Sm.CandWarp->prefetchFirstRunnable();
 }
 
 void Device::notifyWriteSlow(Addr A) {
@@ -184,7 +198,7 @@ void Device::notifyWriteSlow(Addr A) {
   if (It == Watchpoints.end())
     return;
   Word Cur = Mem.load(A);
-  std::vector<WatchEntry> &Entries = It->second;
+  WatchBucket &Entries = It->second;
   for (size_t I = 0; I < Entries.size();) {
     WatchEntry &E = Entries[I];
     if (!memWaitSatisfied(E.Wait, Cur, E.Aux)) {
@@ -216,9 +230,13 @@ void Device::noteBarrierArrival(BlockState &Block) {
 void Device::noteLaneFinished(BlockState &Block) {
   assert(Block.LiveLanes > 0 && "lane finished twice");
   --Block.LiveLanes;
+  if (Block.LiveLanes == 0) {
+    Sms[Block.HomeSM].RetirePending = true;
+    return;
+  }
   // A barrier can complete when the last non-arrived lane exits (the paper's
   // workloads never rely on this, but it avoids spurious deadlocks).
-  if (Block.LiveLanes > 0 && Block.BarrierArrived >= Block.LiveLanes) {
+  if (Block.BarrierArrived >= Block.LiveLanes) {
     Block.BarrierArrived = 0;
     for (auto &W : Block.Warps)
       W->releaseBlockBarrier();
@@ -242,6 +260,7 @@ void Device::discardInFlight() {
     Sm.ResidentWarps = 0;
     Sm.ResidentThreads = 0;
     Sm.CandWarp = nullptr;
+    Sm.RetirePending = false;
   }
   Watchpoints.clear();
   LiveBlocks = 0;
@@ -270,13 +289,14 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
 
   LaunchResult Result;
   for (;;) {
-    // Pick the SM whose cached candidate issues earliest.
+    // Pick the SM whose cached candidate issues earliest.  CandIssue is
+    // already max(Clock, ReadyAt) of the candidate (recomputeCandidate runs
+    // after every event that can change either), so no re-derivation here.
     SmState *BestSm = nullptr;
     for (SmState &Sm : Sms) {
       if (!Sm.CandWarp)
         continue;
-      uint64_t Issue = std::max(Sm.Clock, Sm.CandIssue);
-      if (!BestSm || Issue < std::max(BestSm->Clock, BestSm->CandIssue))
+      if (!BestSm || Sm.CandIssue < BestSm->CandIssue)
         BestSm = &Sm;
     }
     if (!BestSm) {
@@ -292,18 +312,19 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
 
     SmState &Sm = *BestSm;
     Warp *W = Sm.CandWarp;
-    uint64_t Issue = std::max(Sm.Clock, W->ReadyAt);
+    uint64_t Issue = Sm.CandIssue;
+    // Snapshot the candidate's WarpList index now: executeRound can wake
+    // memWait sleepers on this SM, and the wake path recomputes the
+    // candidate (but never mutates WarpList).
+    unsigned IssuedIdx = Sm.CandIdx;
     CurrentIssueCycle = Issue;
     RoundCost Cost = W->executeRound();
     Sm.Clock = Issue + Cost.SmOccupancy;
     W->ReadyAt = Issue + Cost.WarpLatency;
 
     // Advance round-robin past the issued warp.
-    for (size_t K = 0; K < Sm.WarpList.size(); ++K)
-      if (Sm.WarpList[K] == W) {
-        Sm.RoundRobin = static_cast<unsigned>((K + 1) % Sm.WarpList.size());
-        break;
-      }
+    Sm.RoundRobin =
+        static_cast<unsigned>((IssuedIdx + 1) % Sm.WarpList.size());
 
     ++RoundsExecuted;
     if (RoundsExecuted > Config.WatchdogRounds) {
@@ -312,9 +333,14 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
       break;
     }
 
-    retireFinishedBlocks(Sm);
-    if (NextPendingBlock < CurrentLaunch.GridDim)
-      activatePendingBlocks();
+    // Retirement (and the block-activation rescan it may unlock) only
+    // matters on rounds where a block actually drained; noteLaneFinished
+    // flags those.  Residency headroom cannot change any other way.
+    if (GPUSTM_UNLIKELY(Sm.RetirePending)) {
+      Sm.RetirePending = false;
+      if (retireFinishedBlocks(Sm) && NextPendingBlock < CurrentLaunch.GridDim)
+        activatePendingBlocks();
+    }
     recomputeCandidate(Sm);
   }
 
@@ -330,6 +356,7 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
           PhaseTotals[P]);
   S.set("cycles.aborted", AbortedTotal);
   S.set("simt.rounds", Counters.Rounds);
+  S.set("simt.lane_steps", Counters.LaneSteps);
   S.set("simt.mem_transactions", Counters.MemTransactions);
   S.set("simt.loads", Counters.Loads);
   S.set("simt.stores", Counters.Stores);

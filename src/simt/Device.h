@@ -26,6 +26,7 @@
 #include "simt/Timing.h"
 #include "simt/Warp.h"
 #include "support/Compiler.h"
+#include "support/SmallVector.h"
 #include "support/Stats.h"
 
 #include <functional>
@@ -116,6 +117,9 @@ struct BlockState {
 /// StatsSet when the launch ends).
 struct SimCounters {
   uint64_t Rounds = 0;
+  /// Lane fiber resumptions (one switch-in/switch-out pair each); with
+  /// Rounds this gives the host-side fiber-switches-per-round metric.
+  uint64_t LaneSteps = 0;
   uint64_t MemTransactions = 0;
   uint64_t Loads = 0;
   uint64_t Stores = 0;
@@ -179,6 +183,11 @@ private:
     notifyWriteSlow(A);
   }
   void notifyWriteSlow(Addr A);
+  /// A watchpoint bucket: the lanes parked on one address.  Nearly always
+  /// at most a handful of waiters (one lock word's contenders), so give the
+  /// bucket inline storage and never rebuild it on wake -- dead entries are
+  /// compacted in place by notifyWriteSlow.
+  using WatchBucket = SmallVector<WatchEntry, 4>;
   /// Register a watchpoint for a lane parked at a memWait.
   void addWatch(Addr A, const WatchEntry &E) { Watchpoints[A].push_back(E); }
 
@@ -191,9 +200,16 @@ private:
     unsigned ResidentWarps = 0;
     unsigned ResidentThreads = 0;
     unsigned RoundRobin = 0;
-    /// Cached next-issue candidate (recomputed after every local event).
+    /// Cached next-issue candidate and its WarpList index, keyed by issue
+    /// time: CandIssue == max(Clock, CandWarp->ReadyAt) is the cycle the
+    /// candidate would issue at, so the global SM pick and the round-robin
+    /// advance are O(1) reads instead of rescans.
     Warp *CandWarp = nullptr;
     uint64_t CandIssue = 0;
+    unsigned CandIdx = 0;
+    /// Set when a lane finish made some resident block fully finished, so
+    /// retirement scans run only on rounds that can retire something.
+    bool RetirePending = false;
   };
 
   /// Fiber entry point: runs the current kernel for one lane.
@@ -204,7 +220,8 @@ private:
   /// Construct BlockState + warps + lane fibers for block \p BlockIdx.
   std::unique_ptr<BlockState> buildBlock(unsigned BlockIdx, unsigned HomeSM);
   /// Retire fully finished blocks on \p Sm, recycling their stacks.
-  void retireFinishedBlocks(SmState &Sm);
+  /// Returns true when a block was removed (residency headroom changed).
+  bool retireFinishedBlocks(SmState &Sm);
   /// Recompute the cached issue candidate for \p Sm.
   void recomputeCandidate(SmState &Sm);
   /// Fold a lane's attribution counters into the launch totals.
@@ -224,7 +241,7 @@ private:
   TraceHookFn TraceHook;
   LaunchConfig CurrentLaunch;
   std::vector<SmState> Sms;
-  std::unordered_map<Addr, std::vector<WatchEntry>> Watchpoints;
+  std::unordered_map<Addr, WatchBucket> Watchpoints;
   /// Issue cycle of the warp round currently executing (wake timing).
   uint64_t CurrentIssueCycle = 0;
   unsigned NextPendingBlock = 0;

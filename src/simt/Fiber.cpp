@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "simt/Fiber.h"
+#include "support/EnvOptions.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -72,7 +73,9 @@ namespace {
 thread_local Fiber *CurrentFiberTLS = nullptr;
 } // namespace
 
-extern "C" void gpustm_fiber_trampoline(void *Self) {
+// `used`: the only reference is from the toplevel asm blob, which LTO
+// cannot see, so without the attribute -flto links drop the symbol.
+extern "C" __attribute__((used)) void gpustm_fiber_trampoline(void *Self) {
   // Runs the fiber body; never returns to the caller.
   Fiber::trampoline(static_cast<Fiber *>(Self));
 }
@@ -179,11 +182,59 @@ Fiber *Fiber::current() { return CurrentFiberTLS; }
 // StackPool
 //===----------------------------------------------------------------------===//
 
-StackPool::StackPool(size_t StackBytes) : StackBytes(StackBytes) {}
+namespace {
+/// Stacks per slab-mode mapping.  A full Fermi device keeps ~21.5k lane
+/// stacks resident; 256 stacks per slab keeps that under 200 VMAs per
+/// device, so a many-job sweep stays far below vm.max_map_count.
+constexpr size_t kSlabStacks = 256;
+} // namespace
+
+StackLayout StackPool::deviceLayout() {
+  static const StackLayout L = envBool("GPUSTM_STACK_SLABS", true)
+                                   ? StackLayout::Slab
+                                   : StackLayout::Guarded;
+  return L;
+}
+
+StackPool::StackPool(size_t StackBytes, StackLayout Layout)
+    : StackBytes(StackBytes), Layout(Layout) {}
 
 StackPool::~StackPool() {
+  if (usesSlabs()) {
+    for (auto &[Base, Bytes] : Slabs)
+      ::munmap(Base, Bytes);
+    return;
+  }
   for (FiberStack &S : FreeList)
     ::munmap(S.base(), S.totalBytes());
+}
+
+void StackPool::allocateSlab(size_t Page, size_t Usable) {
+  // Layout: [guard page][stack 0][stack 1]...[stack N-1], one RW mprotect
+  // over all the stacks, so the whole slab costs two VMAs.
+  size_t Total = Page + kSlabStacks * Usable;
+  void *Base =
+      ::mmap(nullptr, Total, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Base == MAP_FAILED)
+    reportFatalError("fiber stack slab mmap failed");
+  if (::mprotect(static_cast<char *>(Base) + Page, Total - Page,
+                 PROT_READ | PROT_WRITE) != 0)
+    reportFatalError("fiber stack slab mprotect failed");
+#ifdef MADV_HUGEPAGE
+  // Lane stacks are touched near their tops every fiber switch; 2 MiB pages
+  // shrink that TLB working set ~512x.  Best-effort: alignment and THP
+  // availability are up to the kernel.
+  (void)::madvise(static_cast<char *>(Base) + Page, Total - Page,
+                  MADV_HUGEPAGE);
+#endif
+  Slabs.emplace_back(Base, Total);
+  // Push in reverse so acquire() hands out stacks in increasing address
+  // order (cosmetic; the order is host-side only).
+  for (size_t I = kSlabStacks; I-- > 0;) {
+    char *StackBase = static_cast<char *>(Base) + Page + I * Usable;
+    FreeList.push_back(FiberStack(StackBase, Usable, Usable));
+  }
+  NumAllocated += kSlabStacks;
 }
 
 FiberStack StackPool::acquire() {
@@ -194,6 +245,12 @@ FiberStack StackPool::acquire() {
   }
   size_t Page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
   size_t Usable = (StackBytes + Page - 1) / Page * Page;
+  if (usesSlabs()) {
+    allocateSlab(Page, Usable);
+    FiberStack S = FreeList.back();
+    FreeList.pop_back();
+    return S;
+  }
   size_t Total = Usable + Page; // one guard page below the stack
   void *Base = ::mmap(nullptr, Total, PROT_NONE,
                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);

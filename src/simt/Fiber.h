@@ -54,12 +54,34 @@ private:
   size_t UsableBytes = 0;
 };
 
-/// Allocates and recycles fiber stacks.  Each stack is mmap'd with a
-/// PROT_NONE guard page below it so overflow faults instead of corrupting a
-/// neighbouring lane.
+/// How a StackPool lays out its stacks in the address space.
+enum class StackLayout {
+  /// Each stack is its own mmap with a PROT_NONE guard page below it, so
+  /// overflow faults instead of corrupting a neighbouring lane.  Costs two
+  /// kernel VMAs per stack, which is fine for a handful of fibers but
+  /// exceeds the default vm.max_map_count (65530) at full device residency
+  /// (~21.5k lane stacks) once a host-parallel sweep runs several devices
+  /// concurrently.  It also defeats transparent huge pages, so every lane
+  /// stack occupies its own TLB entry.
+  Guarded,
+  /// Stacks are carved from large shared mappings of kSlabStacks stacks
+  /// each (two VMAs per slab, MADV_HUGEPAGE applied).  Only the lowest
+  /// stack of a slab sits on the guard page; an interior overflow corrupts
+  /// the neighbouring lane's stack instead of faulting.
+  Slab,
+};
+
+/// Allocates and recycles fiber stacks.
+///
+/// The layout is fixed at pool construction.  It is host-side bookkeeping
+/// only: simulation results are identical in both layouts.  Devices default
+/// to Slab (see deviceLayout()) because a full-residency sweep needs the
+/// VMA economy and the huge-page TLB relief; standalone pools default to
+/// Guarded for the stronger overflow diagnostics.
 class StackPool {
 public:
-  explicit StackPool(size_t StackBytes = 64 * 1024);
+  explicit StackPool(size_t StackBytes = 64 * 1024,
+                     StackLayout Layout = StackLayout::Guarded);
   ~StackPool();
 
   StackPool(const StackPool &) = delete;
@@ -74,9 +96,22 @@ public:
   /// Number of stacks ever mapped (for stats/tests).
   size_t totalAllocated() const { return NumAllocated; }
 
+  /// Whether this pool carves stacks out of shared slabs (for stats/tests).
+  bool usesSlabs() const { return Layout == StackLayout::Slab; }
+
+  /// The layout device lane pools use: Slab, unless overridden with
+  /// GPUSTM_STACK_SLABS=0 (e.g. when chasing a suspected stack overflow).
+  static StackLayout deviceLayout();
+
 private:
+  /// Map a slab of kSlabStacks stacks and refill the freelist.
+  void allocateSlab(size_t Page, size_t Usable);
+
   size_t StackBytes;
+  StackLayout Layout;
   std::vector<FiberStack> FreeList;
+  /// Slab-mode mappings to munmap on destruction: (base, bytes).
+  std::vector<std::pair<void *, size_t>> Slabs;
   size_t NumAllocated = 0;
 };
 
@@ -108,6 +143,11 @@ public:
   bool isFinished() const { return Finished; }
   bool isStarted() const { return Started; }
   const FiberStack &stack() const { return Stack; }
+
+  /// The suspended context's stack pointer (the frame resume() will pop).
+  /// For prefetching only; null until init() on the x86-64 backend and
+  /// always null on the ucontext fallback.
+  const void *savedSP() const { return FiberSP; }
 
   /// Releases the stack handle for recycling (the fiber must be finished or
   /// intentionally discarded, e.g. after a watchdog trip).

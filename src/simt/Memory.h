@@ -49,6 +49,15 @@ public:
     return Words[A];
   }
 
+  /// Host-cache prefetch hint for the word backing \p A.  Purely a host
+  /// performance hint (no simulated cost, no effect on results): simulated
+  /// code that knows its next few accesses can overlap the host cache miss
+  /// with the intervening rounds.
+  void prefetch(Addr A) const {
+    if (A < Words.size())
+      __builtin_prefetch(Words.data() + A);
+  }
+
   void store(Addr A, Word V) {
     assert(A < Words.size() && "global memory store out of bounds");
     Words[A] = V;

@@ -27,6 +27,8 @@ Word ThreadCtx::yieldOp(const Op &O) {
   return Self->OpResult;
 }
 
+void ThreadCtx::prefetchMem(Addr A) const { Dev->memory().prefetch(A); }
+
 Word ThreadCtx::load(Addr A) {
   Word V = Dev->memory().load(A);
   ++Dev->Counters.Loads;

@@ -76,6 +76,9 @@ public:
   Word load(Addr A);
   /// Global store of one word.
   void store(Addr A, Word V);
+  /// Host-cache prefetch hint for \p A (see Memory::prefetch).  Free in the
+  /// cost model; does not yield and cannot affect simulation results.
+  void prefetchMem(Addr A) const;
   /// atomicCAS: if *A == Expected then *A = Desired; returns old *A.
   Word atomicCAS(Addr A, Word Expected, Word Desired);
   /// atomicAdd: *A += V; returns old *A.

@@ -9,18 +9,33 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 using namespace gpustm;
 using namespace gpustm::simt;
+
+namespace {
+/// Iterate the set bits of \p Mask in increasing index order.  All mask
+/// walks in this file use this helper so lane visitation order is exactly
+/// the old 0..warpSize loop order -- a bit-identity requirement for the
+/// cost model and convergence resolution.
+template <typename FnT> inline void forEachLane(uint64_t Mask, FnT Fn) {
+  while (Mask != 0) {
+    unsigned I = static_cast<unsigned>(std::countr_zero(Mask));
+    Mask &= Mask - 1;
+    Fn(I);
+  }
+}
+} // namespace
 
 Warp::Warp(Device &Dev, BlockState &Block, unsigned WarpIdInBlock,
            unsigned NumLanes)
     : Dev(Dev), Block(&Block), WarpIdInBlock(WarpIdInBlock) {
   assert(NumLanes >= 1 && NumLanes <= 64 && "warp size must be in [1,64]");
   Lanes.resize(NumLanes);
-  SteppedThisRound.reserve(NumLanes);
-  NumRunnable = NumLanes;
+  AllLanes = NumLanes == 64 ? ~uint64_t(0) : (uint64_t(1) << NumLanes) - 1;
+  StateMask[static_cast<unsigned>(LaneState::Runnable)] = AllLanes;
   (void)this->WarpIdInBlock;
 }
 
@@ -29,36 +44,29 @@ void Warp::setState(unsigned I, LaneState S) {
   if (Old == S)
     return;
   assert(Old != LaneState::Finished && "finished lanes never change state");
-  if (Old == LaneState::Runnable)
-    --NumRunnable;
-  if (S == LaneState::Runnable)
-    ++NumRunnable;
-  else if (S == LaneState::Finished)
-    ++NumFinished;
-  else
+  uint64_t Bit = laneBit(I);
+  StateMask[static_cast<unsigned>(Old)] &= ~Bit;
+  StateMask[static_cast<unsigned>(S)] |= Bit;
+  if (S != LaneState::Runnable && S != LaneState::Finished)
     ConvergencePending = true;
   Lanes[I].State = S;
 }
 
-uint64_t Warp::liveMask(uint64_t Mask) const {
-  uint64_t Live = 0;
-  for (unsigned I = 0; I < Lanes.size(); ++I)
-    if (Lanes[I].State != LaneState::Finished)
-      Live |= laneBit(I);
-  return Mask & Live;
-}
-
-bool Warp::allInState(uint64_t Mask, LaneState S) const {
-  for (unsigned I = 0; I < Lanes.size(); ++I)
-    if ((Mask & laneBit(I)) && Lanes[I].State != S)
-      return false;
-  return true;
+void Warp::prefetchFirstRunnable() const {
+  uint64_t M = stateMask(LaneState::Runnable);
+  if (M == 0)
+    return;
+  const Lane &L = Lanes[std::countr_zero(M)];
+  __builtin_prefetch(&L);
+  if (const char *SP = static_cast<const char *>(L.Fib.savedSP())) {
+    __builtin_prefetch(SP);
+    __builtin_prefetch(SP + 56);
+  }
 }
 
 uint64_t Warp::contextMask() const {
-  uint64_t All = liveMask(~uint64_t(0));
   if (Stack.empty())
-    return All;
+    return liveMask(AllLanes);
   const SimtFrame &F = Stack.back();
   switch (F.Kind) {
   case SimtFrame::If:
@@ -82,32 +90,26 @@ uint64_t Warp::contextMask() const {
 uint64_t Warp::activeMask() const { return contextMask(); }
 
 bool Warp::waitingAtBlockBarrier() const {
-  bool AnyWaiting = false;
-  for (const Lane &L : Lanes) {
-    if (L.State == LaneState::Runnable)
-      return false;
-    if (L.State == LaneState::AtBlockBarrier)
-      AnyWaiting = true;
-  }
-  return AnyWaiting;
+  return stateMask(LaneState::Runnable) == 0 &&
+         stateMask(LaneState::AtBlockBarrier) != 0;
 }
 
 void Warp::releaseLanes(uint64_t Mask) {
-  for (unsigned I = 0; I < Lanes.size(); ++I)
-    if ((Mask & laneBit(I)) && Lanes[I].State != LaneState::Finished)
-      setState(I, LaneState::Runnable);
+  // Lanes already runnable need no transition; finished lanes never return.
+  forEachLane(liveMask(Mask) & ~stateMask(LaneState::Runnable),
+              [&](unsigned I) { setState(I, LaneState::Runnable); });
 }
 
 void Warp::releaseBlockBarrier() {
-  for (unsigned I = 0; I < Lanes.size(); ++I)
-    if (Lanes[I].State == LaneState::AtBlockBarrier)
-      setState(I, LaneState::Runnable);
+  forEachLane(stateMask(LaneState::AtBlockBarrier),
+              [&](unsigned I) { setState(I, LaneState::Runnable); });
 }
 
 void Warp::stepLane(unsigned I) {
   Lane &L = Lanes[I];
   assert(L.State == LaneState::Runnable && "stepping a non-runnable lane");
-  L.PendingOp = Op();
+  // No need to clear PendingOp: every yield path rewrites it in full, and
+  // the finished-fiber path below returns before anyone reads it.
   L.Fib.resume();
   if (L.Fib.isFinished()) {
     setState(I, LaneState::Finished);
@@ -199,15 +201,14 @@ void Warp::resolveConvergence() {
     // Warp vote.
     if (allInState(Ctx, LaneState::AtBallot)) {
       uint64_t Mask = 0;
-      for (unsigned I = 0; I < Lanes.size(); ++I)
-        if ((Ctx & laneBit(I)) && Lanes[I].PendingOp.Flag)
+      forEachLane(Ctx, [&](unsigned I) {
+        if (Lanes[I].PendingOp.Flag)
           Mask |= laneBit(I);
-      for (unsigned I = 0; I < Lanes.size(); ++I) {
-        if (!(Ctx & laneBit(I)))
-          continue;
+      });
+      forEachLane(Ctx, [&](unsigned I) {
         Lanes[I].OpResult = static_cast<Word>(Mask);
         Lanes[I].OpResultHi = static_cast<Word>(Mask >> 32);
-      }
+      });
       releaseLanes(Ctx);
       Changed = true;
       continue;
@@ -218,14 +219,12 @@ void Warp::resolveConvergence() {
       SimtFrame F;
       F.Kind = SimtFrame::If;
       F.Members = Ctx;
-      for (unsigned I = 0; I < Lanes.size(); ++I) {
-        if (!(Ctx & laneBit(I)))
-          continue;
+      forEachLane(Ctx, [&](unsigned I) {
         if (Lanes[I].PendingOp.Flag)
           F.ThenMask |= laneBit(I);
         else
           F.ElseMask |= laneBit(I);
-      }
+      });
       if (F.ThenMask != 0) {
         F.IfPhase = SimtFrame::PhaseThen;
         Stack.push_back(F);
@@ -297,25 +296,23 @@ void Warp::resolveConvergence() {
       if (allInState(liveMask(F.LoopActive), LaneState::AtLoopTest)) {
         uint64_t TrueSet = 0;
         uint64_t Remaining = liveMask(F.LoopActive);
-        for (unsigned I = 0; I < Lanes.size(); ++I)
-          if ((Remaining & laneBit(I)) && Lanes[I].PendingOp.Flag)
+        forEachLane(Remaining, [&](unsigned I) {
+          if (Lanes[I].PendingOp.Flag)
             TrueSet |= laneBit(I);
+        });
         if (TrueSet != 0) {
           // Lanes whose condition turned false are masked off at the loop
           // exit (hardware reconvergence wait): this is what deadlocks the
           // paper's Scheme #1 spinlock.
-          for (unsigned I = 0; I < Lanes.size(); ++I)
-            if ((Remaining & laneBit(I)) && !(TrueSet & laneBit(I)))
-              setState(I, LaneState::AtLoopExit);
+          forEachLane(Remaining & ~TrueSet,
+                      [&](unsigned I) { setState(I, LaneState::AtLoopExit); });
           F.LoopActive = TrueSet;
           releaseLanes(TrueSet);
         } else {
           // Everyone is done: drain all members to the loop end.
           F.LoopActive = 0;
-          uint64_t Live = liveMask(F.Members);
-          for (unsigned I = 0; I < Lanes.size(); ++I)
-            if ((Live & laneBit(I)) && Lanes[I].State != LaneState::AtLoopEnd)
-              setState(I, LaneState::Runnable);
+          forEachLane(liveMask(F.Members) & ~stateMask(LaneState::AtLoopEnd),
+                      [&](unsigned I) { setState(I, LaneState::Runnable); });
         }
         Changed = true;
       }
@@ -330,17 +327,21 @@ void Warp::resolveConvergence() {
   }
 }
 
-RoundCost Warp::costRound(const std::vector<unsigned> &Stepped) {
+RoundCost Warp::costRound(uint64_t Stepped) {
   const TimingConfig &T = Dev.config().Timing;
   RoundCost C;
   C.SmOccupancy = T.IssueCycles;
 
-  // Gather this round's coalescable segments and atomic targets.
+  // Gather this round's coalescable segments and atomic targets, charging
+  // each lane's base cost as we go (paper Figure 5 attribution).  Atomic
+  // lanes are charged in a deferred pass because their per-lane cost
+  // depends on the final same-address conflict count.
   Addr MemSegments[64];
   unsigned NumMemSegments = 0;
   Addr AtomicAddrs[64];
   unsigned AtomicCounts[64];
   unsigned NumAtomicAddrs = 0;
+  uint64_t AtomicLanes = 0;
   uint32_t MaxCompute = 0;
   bool AnyMem = false, AnyAtomic = false, AnyFence = false, AnySync = false;
 
@@ -351,19 +352,22 @@ RoundCost Warp::costRound(const std::vector<unsigned> &Stepped) {
     MemSegments[NumMemSegments++] = Segment;
   };
 
-  for (unsigned LaneIdx : Stepped) {
+  // Lanes that finished this round carry no operation.
+  forEachLane(Stepped & ~stateMask(LaneState::Finished), [&](unsigned LaneIdx) {
     Lane &L = Lanes[LaneIdx];
-    if (L.State == LaneState::Finished)
-      continue;
     const Op &O = L.PendingOp;
     switch (O.Kind) {
     case OpKind::Load:
     case OpKind::Store:
+    case OpKind::MemWait:
+      // A memWait costs one polling load.
       AnyMem = true;
       AddSegment(O.Address / T.SegmentWords);
+      L.charge(T.GlobalMemLatency);
       break;
     case OpKind::Atomic: {
       AnyAtomic = true;
+      AtomicLanes |= laneBit(LaneIdx);
       bool Found = false;
       for (unsigned I = 0; I < NumAtomicAddrs; ++I) {
         if (AtomicAddrs[I] == O.Address) {
@@ -381,20 +385,18 @@ RoundCost Warp::costRound(const std::vector<unsigned> &Stepped) {
     }
     case OpKind::Fence:
       AnyFence = true;
+      L.charge(T.FenceCycles);
       break;
     case OpKind::Compute:
       MaxCompute = std::max(MaxCompute, O.Cycles);
-      break;
-    case OpKind::MemWait:
-      // Costs one polling load.
-      AnyMem = true;
-      AddSegment(O.Address / T.SegmentWords);
+      L.charge(O.Cycles);
       break;
     default:
       AnySync = true;
+      L.charge(T.SyncCycles);
       break;
     }
-  }
+  });
 
   uint32_t Latency = 0;
   if (AnyMem) {
@@ -410,6 +412,16 @@ RoundCost Warp::costRound(const std::vector<unsigned> &Stepped) {
                                     (MaxPerAddr - 1) * T.AtomicSerializeCycles);
     C.SmOccupancy += NumAtomicAddrs * T.PerSegmentCycles;
     C.MemTransactions += NumAtomicAddrs;
+
+    // Deferred per-lane atomic attribution with the final conflict counts.
+    forEachLane(AtomicLanes, [&](unsigned LaneIdx) {
+      Lane &L = Lanes[LaneIdx];
+      unsigned Count = 1;
+      for (unsigned I = 0; I < NumAtomicAddrs; ++I)
+        if (AtomicAddrs[I] == L.PendingOp.Address)
+          Count = AtomicCounts[I];
+      L.charge(T.GlobalMemLatency + (Count - 1) * T.AtomicSerializeCycles);
+    });
   }
   if (AnyFence)
     Latency = std::max(Latency, T.FenceCycles);
@@ -420,56 +432,43 @@ RoundCost Warp::costRound(const std::vector<unsigned> &Stepped) {
   if (AnySync)
     Latency = std::max(Latency, T.SyncCycles);
   C.WarpLatency = std::max<uint32_t>(C.SmOccupancy, Latency);
-
-  // Per-lane attribution for the Figure 5 breakdown: each lane is charged
-  // the base cost of its own operation.
-  for (unsigned LaneIdx : Stepped) {
-    Lane &L = Lanes[LaneIdx];
-    if (L.State == LaneState::Finished)
-      continue;
-    const Op &O = L.PendingOp;
-    uint64_t Cost = 0;
-    switch (O.Kind) {
-    case OpKind::Load:
-    case OpKind::Store:
-    case OpKind::MemWait:
-      Cost = T.GlobalMemLatency;
-      break;
-    case OpKind::Atomic: {
-      unsigned Count = 1;
-      for (unsigned I = 0; I < NumAtomicAddrs; ++I)
-        if (AtomicAddrs[I] == O.Address)
-          Count = AtomicCounts[I];
-      Cost = T.GlobalMemLatency + (Count - 1) * T.AtomicSerializeCycles;
-      break;
-    }
-    case OpKind::Fence:
-      Cost = T.FenceCycles;
-      break;
-    case OpKind::Compute:
-      Cost = O.Cycles;
-      break;
-    default:
-      Cost = T.SyncCycles;
-      break;
-    }
-    L.charge(Cost);
-  }
   return C;
 }
 
 RoundCost Warp::executeRound() {
-  SteppedThisRound.clear();
-  for (unsigned I = 0; I < Lanes.size(); ++I)
-    if (Lanes[I].State == LaneState::Runnable)
-      SteppedThisRound.push_back(I);
-  assert(!SteppedThisRound.empty() && "executeRound without runnable lanes");
+  // Snapshot the runnable set: only these lanes pay a fiber switch this
+  // round; masked-off and parked (memWait, barrier, divergence) lanes are
+  // never touched.
+  uint64_t Stepped = stateMask(LaneState::Runnable);
+  assert(Stepped != 0 && "executeRound without runnable lanes");
 
-  for (unsigned I : SteppedThisRound)
-    stepLane(I);
+  // Step in increasing lane order (bit-identity), software-pipelining the
+  // prefetches: Lane structs four steps out (pure address arithmetic) and
+  // saved switch frames two steps out (the Lane line arrives two
+  // iterations before its FiberSP is read).  Lane stacks are 64KB-strided,
+  // so the frame resume() pops is almost always cold, and two lanes'
+  // execution (~300ns) is enough for even a DRAM miss to land.
+  unsigned Idx[64];
+  unsigned N = 0;
+  for (uint64_t Rest = Stepped; Rest != 0; Rest &= Rest - 1)
+    Idx[N++] = static_cast<unsigned>(std::countr_zero(Rest));
+  for (unsigned K = 0; K < N && K < 4; ++K)
+    __builtin_prefetch(&Lanes[Idx[K]]);
+  for (unsigned P = 0; P < N; ++P) {
+    if (P + 4 < N)
+      __builtin_prefetch(&Lanes[Idx[P + 4]]);
+    if (P + 2 < N) {
+      const Fiber &F = Lanes[Idx[P + 2]].Fib;
+      if (const char *SP = static_cast<const char *>(F.savedSP())) {
+        __builtin_prefetch(SP);
+        __builtin_prefetch(SP + 56); // 7-slot frame may straddle a line
+      }
+    }
+    stepLane(Idx[P]);
+  }
 
   if (GPUSTM_UNLIKELY(static_cast<bool>(Dev.TraceHook))) {
-    for (unsigned I : SteppedThisRound) {
+    forEachLane(Stepped, [&](unsigned I) {
       const Lane &L = Lanes[I];
       TraceEvent E;
       E.IssueCycle = Dev.CurrentIssueCycle;
@@ -482,17 +481,19 @@ RoundCost Warp::executeRound() {
       E.Value = E.Address != InvalidAddr ? Dev.Mem.load(E.Address) : 0;
       E.LanePhase = L.CurPhase;
       Dev.TraceHook(E);
-    }
+    });
   }
 
-  RoundCost Cost = costRound(SteppedThisRound);
+  RoundCost Cost = costRound(Stepped);
   if (ConvergencePending) {
     resolveConvergence();
     // Keep resolving on later rounds while any lane remains parked.
-    ConvergencePending = NumRunnable + NumFinished < Lanes.size();
+    ConvergencePending = (stateMask(LaneState::Runnable) |
+                          stateMask(LaneState::Finished)) != AllLanes;
   }
 
   Dev.Counters.Rounds += 1;
+  Dev.Counters.LaneSteps += static_cast<uint64_t>(std::popcount(Stepped));
   Dev.Counters.MemTransactions += Cost.MemTransactions;
   return Cost;
 }

@@ -52,6 +52,10 @@ enum class LaneState : uint8_t {
   AtMemWait      ///< Parked at a memWait (woken by a qualifying store).
 };
 
+/// Number of LaneState values (size of the per-state mask table).
+inline constexpr unsigned NumLaneStates =
+    static_cast<unsigned>(LaneState::AtMemWait) + 1;
+
 /// One simulated GPU thread: a fiber plus its scheduling and attribution
 /// state.
 struct Lane {
@@ -108,9 +112,17 @@ public:
   RoundCost executeRound();
 
   /// True if some lane can be stepped this round.
-  bool hasRunnableLane() const { return NumRunnable > 0; }
+  bool hasRunnableLane() const {
+    return StateMask[static_cast<unsigned>(LaneState::Runnable)] != 0;
+  }
+
+  /// Host-cache prefetch hint for the first runnable lane's switch frame
+  /// (issued by the scheduler when this warp becomes an SM's candidate).
+  void prefetchFirstRunnable() const;
   /// True when every lane has finished the kernel.
-  bool allFinished() const { return NumFinished == Lanes.size(); }
+  bool allFinished() const {
+    return StateMask[static_cast<unsigned>(LaneState::Finished)] == AllLanes;
+  }
   /// True if no lane is runnable but live lanes wait at the block barrier.
   bool waitingAtBlockBarrier() const;
 
@@ -141,29 +153,41 @@ private:
   /// Try to resolve every pending convergence condition; may release lanes.
   void resolveConvergence();
   /// Compute the cost of the ops stepped this round.
-  RoundCost costRound(const std::vector<unsigned> &Stepped);
+  RoundCost costRound(uint64_t Stepped);
   /// Lanes that participate in the innermost unresolved convergence scope.
   uint64_t contextMask() const;
   /// Set every live lane of \p Mask runnable.
   void releaseLanes(uint64_t Mask);
-  /// Centralized lane state transition; maintains the counters backing
-  /// hasRunnableLane()/allFinished().
+  /// Centralized lane state transition; maintains the per-state lane masks
+  /// backing hasRunnableLane()/allFinished() and every mask query below.
   void setState(unsigned I, LaneState S);
 
   uint64_t laneBit(unsigned I) const { return uint64_t(1) << I; }
+  /// Mask of lanes currently in state \p S.
+  uint64_t stateMask(LaneState S) const {
+    return StateMask[static_cast<unsigned>(S)];
+  }
   /// Live (unfinished) members of \p Mask.
-  uint64_t liveMask(uint64_t Mask) const;
+  uint64_t liveMask(uint64_t Mask) const {
+    return Mask & AllLanes & ~stateMask(LaneState::Finished);
+  }
   /// True iff every live lane of \p Mask is in state \p S.
-  bool allInState(uint64_t Mask, LaneState S) const;
+  bool allInState(uint64_t Mask, LaneState S) const {
+    return (Mask & AllLanes & ~stateMask(S)) == 0;
+  }
 
   Device &Dev;
   BlockState *Block;
   std::vector<Lane> Lanes;
   std::vector<SimtFrame> Stack;
-  std::vector<unsigned> SteppedThisRound;
   unsigned WarpIdInBlock;
-  size_t NumRunnable = 0;
-  size_t NumFinished = 0;
+  /// Bit I of AllLanes is set for every lane of the warp.
+  uint64_t AllLanes = 0;
+  /// StateMask[S] holds the lanes currently in state S; the masks partition
+  /// AllLanes.  Every scheduling query (runnable set, convergence checks,
+  /// stepped-lane iteration) is a couple of bitwise ops instead of an
+  /// O(warpSize) scan over Lanes.
+  uint64_t StateMask[NumLaneStates] = {};
   /// True while some lane is parked (convergence may be resolvable).
   bool ConvergencePending = false;
 };

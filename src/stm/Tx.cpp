@@ -74,6 +74,12 @@ Word Tx::read(Addr A) {
     Ctx.setPhase(Phase::Native);
   }
 
+  // Host prefetch hints for the two log appends below; the load's yield
+  // gives them a full round to land.
+  if (Desc.ReadCount < Desc.ReadAddrs.Cap) {
+    Ctx.prefetchMem(readAddrSlot(Desc.ReadCount));
+    Ctx.prefetchMem(readValSlot(Desc.ReadCount));
+  }
   Word Val = Ctx.load(A); // line 24
 
   // Line 25: log the <addr, val> pair for future validation.
@@ -192,7 +198,12 @@ bool Tx::postValidation(Word Version) {
   for (;;) {               // line 8
     // Lines 9-11: value-based validation of every logged read.
     for (unsigned I = 0; I < Desc.ReadCount; ++I) {
+      if (I + 1 < Desc.ReadCount) { // Host prefetch hints (free, no yield).
+        Ctx.prefetchMem(readAddrSlot(I + 1));
+        Ctx.prefetchMem(readValSlot(I + 1));
+      }
       Addr A = Ctx.load(readAddrSlot(I));
+      Ctx.prefetchMem(A);
       Word Logged = Ctx.load(readValSlot(I));
       if (Ctx.load(A) != Logged)
         return false;
@@ -202,7 +213,10 @@ bool Tx::postValidation(Word Version) {
     // a concurrent commit while we were checking them.
     bool Retry = false;
     for (unsigned I = 0; I < Desc.ReadCount; ++I) {
+      if (I + 1 < Desc.ReadCount) // Host prefetch hint (free, no yield).
+        Ctx.prefetchMem(readAddrSlot(I + 1));
       Addr A = Ctx.load(readAddrSlot(I));
+      Ctx.prefetchMem(Rt.lockWordAddr(Rt.lockIndexFor(A)));
       Word VL = Ctx.load(Rt.lockWordAddr(Rt.lockIndexFor(A)));
       if (lockBit(VL) || lockVersion(VL) > Desc.Snapshot) { // line 17
         Desc.Snapshot = lockVersion(VL);                    // line 18
@@ -218,7 +232,12 @@ bool Tx::postValidation(Word Version) {
 bool Tx::vbv() {
   ++Rt.Counters.VbvRuns;
   for (unsigned I = 0; I < Desc.ReadCount; ++I) { // lines 62-66
+    if (I + 1 < Desc.ReadCount) { // Host prefetch hints (free, no yield).
+      Ctx.prefetchMem(readAddrSlot(I + 1));
+      Ctx.prefetchMem(readValSlot(I + 1));
+    }
     Addr A = Ctx.load(readAddrSlot(I));
+    Ctx.prefetchMem(A);
     Word Logged = Ctx.load(readValSlot(I));
     if (Ctx.load(A) != Logged)
       return false;
@@ -297,7 +316,12 @@ bool Tx::validateAndWriteBack() {
   Ctx.threadfence(); // line 79
   Ctx.setPhase(Phase::Commit);
   for (unsigned I = 0; I < Desc.WriteCount; ++I) { // lines 80-81
+    if (I + 1 < Desc.WriteCount) { // Host prefetch hints (free, no yield).
+      Ctx.prefetchMem(writeAddrSlot(I + 1));
+      Ctx.prefetchMem(writeValSlot(I + 1));
+    }
     Addr A = Ctx.load(writeAddrSlot(I));
+    Ctx.prefetchMem(A);
     Word V = Ctx.load(writeValSlot(I));
     Ctx.store(A, V);
   }
@@ -383,7 +407,15 @@ bool Tx::norecPostValidate() {
     }
     bool Match = true;
     for (unsigned I = 0; I < Desc.ReadCount && Match; ++I) {
+      // Host prefetch hints only: each hint has a full simulated round (the
+      // next load's yield) to land, hiding the host cache miss on the
+      // 128-byte-strided log slots and the random validated address.
+      if (I + 1 < Desc.ReadCount) {
+        Ctx.prefetchMem(readAddrSlot(I + 1));
+        Ctx.prefetchMem(readValSlot(I + 1));
+      }
       Addr A = Ctx.load(readAddrSlot(I));
+      Ctx.prefetchMem(A);
       Word Logged = Ctx.load(readValSlot(I));
       if (Ctx.load(A) != Logged)
         Match = false;
@@ -421,7 +453,12 @@ bool Tx::norecCommit() {
                  simt::InvalidAddr, 0, 1);
   Ctx.setPhase(Phase::Commit);
   for (unsigned I = 0; I < Desc.WriteCount; ++I) {
+    if (I + 1 < Desc.WriteCount) { // Host prefetch hints (free, no yield).
+      Ctx.prefetchMem(writeAddrSlot(I + 1));
+      Ctx.prefetchMem(writeValSlot(I + 1));
+    }
     Addr A = Ctx.load(writeAddrSlot(I));
+    Ctx.prefetchMem(A);
     Word V = Ctx.load(writeValSlot(I));
     Ctx.store(A, V);
   }

@@ -1,0 +1,159 @@
+//===- support/SmallVector.h - Inline-storage vector ------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with \p N elements of inline storage, for hot-path containers
+/// whose common size is tiny (watchpoint buckets hold a handful of parked
+/// lanes; coalescing scratch holds at most a warp's worth of segments).
+/// Restricted to trivially copyable element types so growth is a memcpy
+/// and destruction is free -- which is exactly the shape of the simulator's
+/// bookkeeping records, and keeps the implementation safe under
+/// -fno-exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SUPPORT_SMALLVECTOR_H
+#define GPUSTM_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gpustm {
+
+/// Vector of trivially copyable \p T with \p N inline slots (see file
+/// comment).  Grows geometrically onto the heap past N and never shrinks
+/// back, so a bucket that once spilled keeps its capacity across
+/// park/wake cycles instead of reallocating on every refill.
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector &Other) { append(Other); }
+
+  SmallVector(SmallVector &&Other) noexcept { stealFrom(Other); }
+
+  SmallVector &operator=(const SmallVector &Other) {
+    if (this != &Other) {
+      Size = 0;
+      append(Other);
+    }
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&Other) noexcept {
+    if (this != &Other) {
+      freeHeap();
+      stealFrom(Other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { freeHeap(); }
+
+  bool empty() const { return Size == 0; }
+  size_t size() const { return Size; }
+  size_t capacity() const { return Cap; }
+  /// True while elements still live in the inline buffer (for tests).
+  bool isInline() const { return Data == inlineData(); }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "SmallVector index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "SmallVector index out of range");
+    return Data[I];
+  }
+
+  T &back() {
+    assert(Size > 0 && "back() on empty SmallVector");
+    return Data[Size - 1];
+  }
+
+  void push_back(const T &Value) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    Data[Size++] = Value;
+  }
+
+  void pop_back() {
+    assert(Size > 0 && "pop_back() on empty SmallVector");
+    --Size;
+  }
+
+  void clear() { Size = 0; }
+
+  /// Ensure room for \p NewCap elements without reallocation.
+  void reserve(size_t NewCap) {
+    if (NewCap > Cap)
+      grow(NewCap);
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  const T *inlineData() const { return reinterpret_cast<const T *>(Inline); }
+
+  void append(const SmallVector &Other) {
+    reserve(Other.Size);
+    std::memcpy(static_cast<void *>(Data), Other.Data,
+                Other.Size * sizeof(T));
+    Size = Other.Size;
+  }
+
+  /// Take Other's heap buffer (or copy its inline contents) and reset it.
+  void stealFrom(SmallVector &Other) {
+    if (Other.isInline()) {
+      Data = inlineData();
+      Cap = N;
+      Size = Other.Size;
+      std::memcpy(static_cast<void *>(Data), Other.Data, Size * sizeof(T));
+    } else {
+      Data = Other.Data;
+      Cap = Other.Cap;
+      Size = Other.Size;
+      Other.Data = Other.inlineData();
+      Other.Cap = N;
+    }
+    Other.Size = 0;
+  }
+
+  void grow(size_t NewCap) {
+    if (NewCap < Size + 1)
+      NewCap = Size + 1;
+    T *NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    std::memcpy(static_cast<void *>(NewData), Data, Size * sizeof(T));
+    freeHeap();
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  void freeHeap() {
+    if (!isInline())
+      ::operator delete(Data);
+  }
+
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+  T *Data = inlineData();
+  size_t Size = 0;
+  size_t Cap = N;
+};
+
+} // namespace gpustm
+
+#endif // GPUSTM_SUPPORT_SMALLVECTOR_H

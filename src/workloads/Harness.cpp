@@ -13,9 +13,11 @@
 #include "trace/TraceIO.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 
 using namespace gpustm;
 using namespace gpustm::workloads;
@@ -44,7 +46,11 @@ static std::string resolveTracePath(const HarnessConfig &Config) {
                          : Config.TracePath;
   if (Path.empty())
     return Path;
+  // Guarded: harness runs may execute concurrently under the GPUSTM_JOBS
+  // sweep runner (traced runs are rare, so contention is not a concern).
+  static std::mutex RunsMutex;
   static std::map<std::string, unsigned> RunsPerPath;
+  std::lock_guard<std::mutex> Lock(RunsMutex);
   unsigned Run = RunsPerPath[Path]++;
   return Run == 0 ? Path : formatString("%s.%u", Path.c_str(), Run);
 }
@@ -122,6 +128,7 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
 
   HarnessResult Result;
   Result.Completed = true;
+  auto WallStart = std::chrono::steady_clock::now();
   for (unsigned K = 0; K < W.numKernels(); ++K) {
     Workload::KernelSpec Spec = W.kernelSpec(K);
     LaunchConfig L = Launches[K];
@@ -163,6 +170,10 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
       break;
     }
   }
+  Result.WallNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count());
   Result.Stm = Stm.counters();
   if (Recorder) {
     Recorder->finishRun(Dev, Stm, Result.TotalCycles);

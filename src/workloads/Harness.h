@@ -78,6 +78,9 @@ struct HarnessResult {
   /// GN-1 from GN-2).
   StatsSet Sim;
   std::vector<StatsSet> KernelSim;
+  /// Host wall time spent simulating the kernels (throughput metric only;
+  /// never feeds back into modeled cycles or any deterministic result).
+  uint64_t WallNanos = 0;
 
   /// Abort rate: aborts / (commits + aborts).
   double abortRate() const {
@@ -87,6 +90,24 @@ struct HarnessResult {
   /// Proportion of modeled time spent inside transactions (Table 1's "TX
   /// time"): every phase except native work.
   double txTimeProportion() const;
+
+  /// Host-side simulator throughput (BENCH_*.json "wall_ms",
+  /// "rounds_per_sec", and "switches_per_round" fields).
+  double wallMs() const { return static_cast<double>(WallNanos) / 1e6; }
+  double roundsPerSec() const {
+    uint64_t Rounds = Sim.get("simt.rounds");
+    return WallNanos == 0 ? 0.0
+                          : static_cast<double>(Rounds) * 1e9 /
+                                static_cast<double>(WallNanos);
+  }
+  /// Average lane fiber switches per warp round (engine work factor).
+  double switchesPerRound() const {
+    uint64_t Rounds = Sim.get("simt.rounds");
+    uint64_t Steps = Sim.get("simt.lane_steps");
+    return Rounds == 0 ? 0.0
+                       : static_cast<double>(Steps) /
+                             static_cast<double>(Rounds);
+  }
 };
 
 /// Run \p W under \p Config.  Builds a fresh Device sized for the workload

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 using namespace gpustm::simt;
 
 namespace {
@@ -94,6 +96,38 @@ TEST(FiberTest, StackPoolRecyclesStacks) {
 
 TEST(FiberTest, CurrentIsNullOnHost) {
   EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(FiberTest, SlabPoolRunsFibers) {
+  // Slab layout: stacks carved from shared mappings (2 VMAs per slab
+  // instead of 2 per stack).  Fibers must behave identically.
+  StackPool Pool(16 * 1024, StackLayout::Slab);
+  EXPECT_TRUE(Pool.usesSlabs());
+  constexpr int NumFibers = 300; // spills into a second slab of 256
+  std::vector<CounterArg> Args(NumFibers);
+  std::vector<Fiber> Fibers(NumFibers);
+  for (int I = 0; I < NumFibers; ++I) {
+    Args[I] = CounterArg{0, 2};
+    Fibers[I].init(Pool.acquire(), countingBody, &Args[I]);
+  }
+  for (int Step = 0; Step < 3; ++Step)
+    for (int I = 0; I < NumFibers; ++I)
+      Fibers[I].resume();
+  for (int I = 0; I < NumFibers; ++I) {
+    EXPECT_TRUE(Fibers[I].isFinished());
+    EXPECT_EQ(Args[I].Value, 3);
+    Pool.release(Fibers[I].takeStack());
+  }
+}
+
+TEST(FiberTest, SlabPoolRecyclesStacks) {
+  StackPool Pool(16 * 1024, StackLayout::Slab);
+  FiberStack S1 = Pool.acquire();
+  void *Base = S1.base();
+  Pool.release(S1);
+  FiberStack S2 = Pool.acquire();
+  EXPECT_EQ(S2.base(), Base);
+  Pool.release(S2);
 }
 
 void deepStackBody(void *ArgPtr) {

@@ -8,12 +8,16 @@
 #include "support/Format.h"
 #include "support/FunctionRef.h"
 #include "support/MathExtras.h"
+#include "support/Parallel.h"
 #include "support/Random.h"
+#include "support/SmallVector.h"
 #include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <numeric>
 
 using namespace gpustm;
 
@@ -179,6 +183,103 @@ TEST(FunctionRefTest, CallsThroughWithCaptures) {
   function_ref<int(int)> Empty;
   EXPECT_FALSE(static_cast<bool>(Empty));
   EXPECT_TRUE(static_cast<bool>(F));
+}
+
+TEST(SmallVectorTest, StaysInlineUpToN) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I * 10);
+  EXPECT_TRUE(V.isInline());
+  EXPECT_EQ(V.size(), 4u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I * 10);
+}
+
+TEST(SmallVectorTest, SpillsToHeapAndKeepsContents) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(I);
+  EXPECT_FALSE(V.isInline());
+  EXPECT_EQ(V.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+  // clear() keeps the spilled capacity (no shrink-back on the hot path).
+  size_t Cap = V.capacity();
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), Cap);
+}
+
+TEST(SmallVectorTest, SwapRemoveIdiom) {
+  // The watchpoint buckets compact with the swap-with-back idiom.
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 6; ++I)
+    V.push_back(I);
+  V[1] = V.back();
+  V.pop_back();
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V[1], 5);
+}
+
+TEST(SmallVectorTest, CopyAndMove) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I < 8; ++I)
+    V.push_back(I);
+  SmallVector<int, 2> Copy(V);
+  EXPECT_EQ(Copy.size(), 8u);
+  EXPECT_EQ(Copy[7], 7);
+  SmallVector<int, 2> Moved(std::move(V));
+  EXPECT_EQ(Moved.size(), 8u);
+  EXPECT_EQ(Moved[7], 7);
+  EXPECT_TRUE(V.empty());
+  Copy = Moved;
+  EXPECT_EQ(Copy.size(), 8u);
+}
+
+TEST(ParallelTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  parallelForIndexed(N, 4, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelTest, SerialFallbackRunsOnCallingThread) {
+  // Jobs <= 1 must not spawn threads: the work observes the caller's
+  // thread-local state directly.
+  thread_local int Marker = 0;
+  Marker = 42;
+  bool SawMarker = true;
+  parallelForIndexed(8, 1, [&](size_t) { SawMarker &= (Marker == 42); });
+  EXPECT_TRUE(SawMarker);
+}
+
+TEST(ParallelTest, MapResultsAreInIndexOrder) {
+  std::function<int(size_t)> Square = [](size_t I) {
+    return static_cast<int>(I * I);
+  };
+  std::vector<int> Serial = parallelMapIndexed<int>(64, 1, Square);
+  std::vector<int> Par = parallelMapIndexed<int>(64, 4, Square);
+  EXPECT_EQ(Serial, Par);
+  for (size_t I = 0; I < Serial.size(); ++I)
+    EXPECT_EQ(Serial[I], static_cast<int>(I * I));
+}
+
+TEST(ParallelTest, HandlesZeroAndOneItems) {
+  int Runs = 0;
+  parallelForIndexed(0, 4, [&](size_t) { ++Runs; });
+  EXPECT_EQ(Runs, 0);
+  parallelForIndexed(1, 4, [&](size_t) { ++Runs; });
+  EXPECT_EQ(Runs, 1);
+}
+
+TEST(ParallelTest, HostJobsClampedAndCached) {
+  // hostJobs() reads GPUSTM_JOBS once per process; whatever it returns
+  // must be in the documented [1, 256] range.
+  unsigned J = hostJobs();
+  EXPECT_GE(J, 1u);
+  EXPECT_LE(J, 256u);
+  EXPECT_EQ(hostJobs(), J);
 }
 
 } // namespace

@@ -1,0 +1,85 @@
+//===- tests/workloads/SweepDeterminismTest.cpp - Parallel sweep identity -===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// The host-parallel sweep runner must be invisible in every modeled
+// number: running a matrix of independent harness cells on 4 host threads
+// has to produce bit-identical results to the serial loop.  This is the
+// in-process half of the guarantee (the ctest-level half compares
+// fig2_overall JSON output across GPUSTM_JOBS settings).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+#include "workloads/All.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+
+namespace {
+
+/// Small cross-variant matrix, sized so the whole test stays in seconds:
+/// paper launches are replaced with a tiny grid.
+struct Cell {
+  const char *Workload;
+  stm::Variant Kind;
+};
+
+const Cell Cells[] = {
+    {"RA", stm::Variant::CGL},       {"RA", stm::Variant::VBV},
+    {"RA", stm::Variant::Optimized}, {"HT", stm::Variant::HVSorting},
+    {"HT", stm::Variant::Optimized}, {"KM", stm::Variant::TBVSorting},
+};
+constexpr size_t NumCells = sizeof(Cells) / sizeof(Cells[0]);
+
+HarnessResult runCell(size_t I) {
+  HarnessConfig HC;
+  HC.Kind = Cells[I].Kind;
+  HC.Launches = {simt::LaunchConfig{8, 64}};
+  HC.NumLocks = 1u << 12;
+  auto W = makeWorkload(Cells[I].Workload, 1);
+  return runWorkload(*W, HC);
+}
+
+/// Every modeled field must match; wall time is explicitly exempt.
+void expectIdentical(const HarnessResult &A, const HarnessResult &B,
+                     size_t I) {
+  SCOPED_TRACE(testing::Message() << "cell " << I << " (" << Cells[I].Workload
+                                  << ")");
+  EXPECT_EQ(A.Completed, B.Completed);
+  EXPECT_EQ(A.Verified, B.Verified);
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.KernelCycles, B.KernelCycles);
+  EXPECT_EQ(A.Stm.Commits, B.Stm.Commits);
+  EXPECT_EQ(A.Stm.Aborts, B.Stm.Aborts);
+  EXPECT_EQ(A.Stm.ReadOnlyCommits, B.Stm.ReadOnlyCommits);
+  EXPECT_EQ(A.Stm.LockFailures, B.Stm.LockFailures);
+  EXPECT_EQ(A.Sim.entries(), B.Sim.entries());
+}
+
+TEST(SweepDeterminismTest, FourJobsMatchSerial) {
+  std::function<HarnessResult(size_t)> Fn = runCell;
+  std::vector<HarnessResult> Serial =
+      parallelMapIndexed<HarnessResult>(NumCells, 1, Fn);
+  std::vector<HarnessResult> Parallel =
+      parallelMapIndexed<HarnessResult>(NumCells, 4, Fn);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t I = 0; I < NumCells; ++I)
+    expectIdentical(Serial[I], Parallel[I], I);
+}
+
+TEST(SweepDeterminismTest, RepeatedParallelRunsMatch) {
+  // Thread interleaving varies run to run; results must not.
+  std::function<HarnessResult(size_t)> Fn = runCell;
+  std::vector<HarnessResult> First =
+      parallelMapIndexed<HarnessResult>(NumCells, 4, Fn);
+  std::vector<HarnessResult> Second =
+      parallelMapIndexed<HarnessResult>(NumCells, 4, Fn);
+  for (size_t I = 0; I < NumCells; ++I)
+    expectIdentical(First[I], Second[I], I);
+}
+
+} // namespace
