@@ -207,6 +207,11 @@ void Device::notifyWriteSlow(Addr A) {
     }
     Warp *W = E.W;
     W->setState(E.LaneIdx, LaneState::Runnable);
+#if GPUSTM_SAN_ENABLED
+    // The waking store happens-before everything the woken lane does next.
+    if (GPUSTM_UNLIKELY(San != nullptr))
+      San->onWakeEdge(W->lane(E.LaneIdx).Ctx.warpGlobalId(), SanCurWarpGid);
+#endif
     // The waiter observes the store one memory round-trip after it issues.
     W->ReadyAt = std::max(
         W->ReadyAt, CurrentIssueCycle + Config.Timing.GlobalMemLatency);
@@ -223,6 +228,11 @@ void Device::noteBarrierArrival(BlockState &Block) {
   if (Block.BarrierArrived < Block.LiveLanes)
     return;
   Block.BarrierArrived = 0;
+#if GPUSTM_SAN_ENABLED
+  if (GPUSTM_UNLIKELY(San != nullptr))
+    San->onBarrierRelease(Block.BlockIdx, /*ByLaneExit=*/false,
+                          CurrentIssueCycle);
+#endif
   for (auto &W : Block.Warps)
     W->releaseBlockBarrier();
 }
@@ -238,6 +248,11 @@ void Device::noteLaneFinished(BlockState &Block) {
   // workloads never rely on this, but it avoids spurious deadlocks).
   if (Block.BarrierArrived >= Block.LiveLanes) {
     Block.BarrierArrived = 0;
+#if GPUSTM_SAN_ENABLED
+    if (GPUSTM_UNLIKELY(San != nullptr))
+      San->onBarrierRelease(Block.BlockIdx, /*ByLaneExit=*/true,
+                            CurrentIssueCycle);
+#endif
     for (auto &W : Block.Warps)
       W->releaseBlockBarrier();
   }
@@ -285,6 +300,12 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
   std::fill(std::begin(PhaseTotals), std::end(PhaseTotals), 0);
   AbortedTotal = 0;
 
+#if GPUSTM_SAN_ENABLED
+  SanCurWarpGid = 0;
+  if (GPUSTM_UNLIKELY(San != nullptr))
+    San->onLaunch(Launch.GridDim, Launch.BlockDim, Config.WarpSize);
+#endif
+
   activatePendingBlocks();
 
   LaunchResult Result;
@@ -318,6 +339,12 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
     // candidate (but never mutates WarpList).
     unsigned IssuedIdx = Sm.CandIdx;
     CurrentIssueCycle = Issue;
+#if GPUSTM_SAN_ENABLED
+    if (GPUSTM_UNLIKELY(San != nullptr)) {
+      SanCurWarpGid = W->lane(0).Ctx.warpGlobalId();
+      San->onRoundBegin(SanCurWarpGid);
+    }
+#endif
     RoundCost Cost = W->executeRound();
     Sm.Clock = Issue + Cost.SmOccupancy;
     W->ReadyAt = Issue + Cost.WarpLatency;
@@ -363,6 +390,11 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
   S.set("simt.atomics", Counters.Atomics);
   S.set("simt.fences", Counters.Fences);
   S.set("simt.elapsed_cycles", Elapsed);
+
+#if GPUSTM_SAN_ENABLED
+  if (GPUSTM_UNLIKELY(San != nullptr))
+    San->onLaunchEnd(Result.Completed);
+#endif
 
   CurrentKernel = nullptr;
   return Result;

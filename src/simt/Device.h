@@ -23,6 +23,7 @@
 #define GPUSTM_SIMT_DEVICE_H
 
 #include "simt/Memory.h"
+#include "simt/SanHooks.h"
 #include "simt/Timing.h"
 #include "simt/Warp.h"
 #include "support/Compiler.h"
@@ -151,6 +152,26 @@ public:
   /// Tracing is for debugging and tests; it has no effect on timing.
   void setTraceHook(TraceHookFn Hook) { TraceHook = std::move(Hook); }
 
+  /// Attach (or detach, with nullptr) a simtsan observer.  Observation is
+  /// host-side only: modeled cycles, counters, and results are bit-identical
+  /// with or without an observer.  Caller keeps ownership; the observer must
+  /// outlive the launches it watches.  No-op under GPUSTM_NO_SAN.
+  void setSanHooks(SanHooks *Hooks) {
+#if GPUSTM_SAN_ENABLED
+    San = Hooks;
+#else
+    (void)Hooks;
+#endif
+  }
+  /// The attached simtsan observer (null when none).
+  SanHooks *sanHooks() const {
+#if GPUSTM_SAN_ENABLED
+    return San;
+#else
+    return nullptr;
+#endif
+  }
+
   /// Current simulated time (issue cycle of the executing warp round).
   /// Host-side controllers (e.g. the STM's adaptive transaction scheduler)
   /// use this to measure throughput in modeled cycles.
@@ -239,6 +260,13 @@ private:
   // Launch-scoped state.
   KernelFn CurrentKernel;
   TraceHookFn TraceHook;
+#if GPUSTM_SAN_ENABLED
+  /// Attached simtsan observer (null when detached; see setSanHooks).
+  SanHooks *San = nullptr;
+  /// Warp gid of the warp whose round is currently executing (wake-edge
+  /// attribution for onWakeEdge); only maintained while San is attached.
+  unsigned SanCurWarpGid = 0;
+#endif
   LaunchConfig CurrentLaunch;
   std::vector<SmState> Sms;
   std::unordered_map<Addr, WatchBucket> Watchpoints;

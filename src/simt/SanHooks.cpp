@@ -1,0 +1,13 @@
+//===- simt/SanHooks.cpp - Dynamic-analysis hook interface ----------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simt/SanHooks.h"
+
+using namespace gpustm;
+using namespace gpustm::simt;
+
+// Anchor the vtable here so observers (src/analysis/) do not each emit it.
+SanHooks::~SanHooks() = default;

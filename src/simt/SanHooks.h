@@ -1,0 +1,171 @@
+//===- simt/SanHooks.h - Dynamic-analysis hook interface --------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator-side attachment points for simtsan (src/analysis/), the
+/// opt-in race / isolation / SIMT-hazard detector.  The interface lives in
+/// src/simt/ so both the simulator and the STM runtime can fire hooks
+/// without depending on the analysis library; only the harness (which
+/// constructs the detector) links src/analysis/.
+///
+/// Zero-overhead contract: every call site guards with
+/// `GPUSTM_UNLIKELY(San != nullptr)` (the TraceHook pattern), hooks are
+/// host-side only (no simulated device operation is ever issued for them,
+/// so modeled cycles and counters are bit-identical with the detector on or
+/// off), and defining GPUSTM_NO_SAN compiles every call site out entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SIMT_SANHOOKS_H
+#define GPUSTM_SIMT_SANHOOKS_H
+
+#include "simt/Memory.h"
+
+#include <cstdint>
+
+/// Compile-out switch: -DGPUSTM_NO_SAN removes every hook call site from
+/// the simulator and the STM (cmake -DGPUSTM_NO_SAN=ON).
+#ifdef GPUSTM_NO_SAN
+#define GPUSTM_SAN_ENABLED 0
+#else
+#define GPUSTM_SAN_ENABLED 1
+#endif
+
+namespace gpustm {
+namespace simt {
+
+/// How an access participates in the STM protocol.  The STM annotates its
+/// own accesses (see ThreadCtx::setMemClass); kernel code defaults to Plain.
+enum class MemClass : uint8_t {
+  Plain,  ///< Ordinary non-transactional program access.
+  TxData, ///< Transactional access to a program data word (TXRead's load,
+          ///< validation re-reads, commit write-back stores, CGL-mode
+          ///< direct accesses).
+  Meta,   ///< STM metadata: logs, version-lock words, clocks, tickets,
+          ///< scheduler words.  Excluded from race detection (the paper's
+          ///< algorithm reads lock words racily by design) but drives the
+          ///< lock-ownership invariant checks.
+};
+
+/// The memory operation category a hook reports.
+enum class SanOp : uint8_t { Load, Store, Atomic };
+
+/// One observed lane memory access, with full simulated coordinates.
+struct SanAccess {
+  Addr Address = InvalidAddr;
+  Word Value = 0; ///< Memory content at Address after the operation.
+  uint64_t Cycle = 0;
+  unsigned WarpGid = 0;  ///< Globally unique warp id for the launch.
+  unsigned Block = 0;    ///< Block index within the grid.
+  unsigned Lane = 0;     ///< Lane index within the warp.
+  unsigned ThreadId = 0; ///< Global thread id.
+  unsigned Sm = 0;       ///< SM the lane's block is resident on.
+  SanOp Op = SanOp::Load;
+  MemClass Class = MemClass::Plain;
+};
+
+/// One lane arriving at a block barrier, with the warp's current active
+/// mask and the mask a convergent arrival would have.
+struct SanBarrier {
+  uint64_t Cycle = 0;
+  unsigned WarpGid = 0;
+  unsigned Block = 0;
+  unsigned Lane = 0;
+  unsigned ThreadId = 0;
+  unsigned Sm = 0;
+  uint64_t ActiveMask = 0;   ///< Lanes executing the barrier together.
+  uint64_t ExpectedMask = 0; ///< All live lanes of the warp.
+};
+
+/// STM metadata geometry, registered by StmRuntime's constructor so the
+/// detector can recognize version-lock words and check their invariants.
+struct SanStmLayout {
+  Addr LockTabBase = InvalidAddr;
+  Word NumLocks = 0; ///< Power of two; lock index = addr & (NumLocks - 1).
+  Addr ClockAddr = InvalidAddr;
+  Addr SeqLockAddr = InvalidAddr; ///< NOrec sequence lock (VBV).
+};
+
+/// Abstract observer for simulator and STM events (see file comment).
+/// All methods default to no-ops so observers override only what they use.
+class SanHooks {
+public:
+  virtual ~SanHooks();
+
+  /// A kernel launch begins / ends.  \p Clean is false after a watchdog
+  /// trip or deadlock (end-of-kernel invariant checks are skipped then).
+  virtual void onLaunch(unsigned GridDim, unsigned BlockDim,
+                        unsigned WarpSize) {
+    (void)GridDim;
+    (void)BlockDim;
+    (void)WarpSize;
+  }
+  virtual void onLaunchEnd(bool Clean) { (void)Clean; }
+
+  /// Warp \p WarpGid begins a lockstep round (its per-warp logical clock
+  /// ticks; accesses within one round share an epoch).
+  virtual void onRoundBegin(unsigned WarpGid) { (void)WarpGid; }
+
+  /// One lane memory access (loads, stores, atomics; memWait polling reads
+  /// are reported through onMemWait instead).
+  virtual void onAccess(const SanAccess &A) { (void)A; }
+
+  /// A __threadfence() by global thread \p ThreadId.
+  virtual void onFence(unsigned ThreadId) { (void)ThreadId; }
+
+  /// Warp \p WarpGid executed a memWait on \p A (parked or passed
+  /// immediately); an acquire of the last release to \p A.
+  virtual void onMemWait(unsigned WarpGid, Addr A) {
+    (void)WarpGid;
+    (void)A;
+  }
+
+  /// A store by \p StorerWarpGid woke a lane of \p WokenWarpGid from a
+  /// memWait (a happens-before edge from the storer to the waiter).
+  virtual void onWakeEdge(unsigned WokenWarpGid, unsigned StorerWarpGid) {
+    (void)WokenWarpGid;
+    (void)StorerWarpGid;
+  }
+
+  /// One lane arrived at a block barrier (divergence is checked by
+  /// comparing the masks in \p B).
+  virtual void onBarrierArrive(const SanBarrier &B) { (void)B; }
+
+  /// The block barrier of \p BlockIdx completed and released its waiters.
+  /// \p ByLaneExit is true when completion was forced by the last
+  /// non-arrived lane exiting the kernel (a skipped-barrier hazard).
+  virtual void onBarrierRelease(unsigned BlockIdx, bool ByLaneExit,
+                                uint64_t Cycle) {
+    (void)BlockIdx;
+    (void)ByLaneExit;
+    (void)Cycle;
+  }
+
+  /// STM metadata geometry (fired by StmRuntime's constructor).
+  virtual void onStmRegister(const SanStmLayout &L) { (void)L; }
+
+  /// A transaction attempt by \p ThreadId ended (committed or aborted);
+  /// no version lock may remain held.
+  virtual void onTxEnd(unsigned ThreadId, bool Committed, uint64_t Cycle) {
+    (void)ThreadId;
+    (void)Committed;
+    (void)Cycle;
+  }
+
+  /// A lane issued an access outside the memory arena.  The simulator
+  /// aborts right after this hook (the access has no defined semantics),
+  /// so implementations should emit their report immediately.
+  virtual void onOutOfBounds(const SanAccess &A) { (void)A; }
+
+  /// Findings recorded so far (lets the harness report a caller-owned
+  /// observer's totals without knowing its concrete type).
+  virtual uint64_t findingCount() const { return 0; }
+};
+
+} // namespace simt
+} // namespace gpustm
+
+#endif // GPUSTM_SIMT_SANHOOKS_H

@@ -8,6 +8,8 @@
 #include "simt/Device.h"
 #include "simt/Fiber.h"
 #include "simt/Warp.h"
+#include "support/Error.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <cassert>
@@ -20,6 +22,74 @@ unsigned ThreadCtx::smId() const {
   return ParentWarp->block().HomeSM;
 }
 
+// Per-access simtsan hook: fires after the memory effect and before
+// notifyWrite, so a waking store's happens-before release is observed
+// before the wake edge it triggers.  Compiled out under GPUSTM_NO_SAN.
+#if GPUSTM_SAN_ENABLED
+#define GPUSTM_SAN_ACCESS(A, OPK)                                              \
+  do {                                                                         \
+    if (GPUSTM_UNLIKELY(Dev->San != nullptr))                                  \
+      sanAccess((A), SanOp::OPK);                                              \
+  } while (false)
+#else
+#define GPUSTM_SAN_ACCESS(A, OPK)                                              \
+  do {                                                                         \
+  } while (false)
+#endif
+
+// Arena bounds check (always on): an out-of-arena word access used to be
+// undefined behavior in release builds; now it is a diagnosable abort, with
+// a simtsan report first when a detector is attached.
+#define GPUSTM_SAN_BOUNDS(A, OPK)                                              \
+  do {                                                                         \
+    if (GPUSTM_UNLIKELY(static_cast<size_t>(A) >= Dev->memory().size()))       \
+      outOfBoundsAccess((A), SanOp::OPK);                                      \
+  } while (false)
+
+#if GPUSTM_SAN_ENABLED
+void ThreadCtx::sanAccess(Addr A, SanOp Op) {
+  SanAccess E;
+  E.Address = A;
+  E.Value = Dev->memory().load(A);
+  E.Cycle = Dev->now();
+  E.WarpGid = warpGlobalId();
+  E.Block = BlockIdx;
+  E.Lane = LaneIdx;
+  E.ThreadId = globalThreadId();
+  E.Sm = smId();
+  E.Op = Op;
+  E.Class = memClass();
+  Dev->San->onAccess(E);
+}
+#endif // GPUSTM_SAN_ENABLED
+
+void ThreadCtx::outOfBoundsAccess(Addr A, SanOp Op) {
+  const char *OpName = Op == SanOp::Load    ? "load"
+                       : Op == SanOp::Store ? "store"
+                                            : "atomic";
+#if GPUSTM_SAN_ENABLED
+  if (Dev->San != nullptr) {
+    SanAccess E;
+    E.Address = A;
+    E.Cycle = Dev->now();
+    E.WarpGid = warpGlobalId();
+    E.Block = BlockIdx;
+    E.Lane = LaneIdx;
+    E.ThreadId = globalThreadId();
+    E.Sm = smId();
+    E.Op = Op;
+    E.Class = memClass();
+    Dev->San->onOutOfBounds(E);
+  }
+#endif
+  reportFatalError(formatString(
+      "out-of-bounds global %s of word %u (arena holds %zu words) by "
+      "block %u warp %u lane %u (thread %u) on SM %u at cycle %llu",
+      OpName, A, Dev->memory().size(), BlockIdx, WarpIdxInBlock, LaneIdx,
+      globalThreadId(), smId(),
+      static_cast<unsigned long long>(Dev->now())));
+}
+
 Word ThreadCtx::yieldOp(const Op &O) {
   assert(Self && "ThreadCtx not bound to a lane");
   Self->PendingOp = O;
@@ -30,7 +100,9 @@ Word ThreadCtx::yieldOp(const Op &O) {
 void ThreadCtx::prefetchMem(Addr A) const { Dev->memory().prefetch(A); }
 
 Word ThreadCtx::load(Addr A) {
+  GPUSTM_SAN_BOUNDS(A, Load);
   Word V = Dev->memory().load(A);
+  GPUSTM_SAN_ACCESS(A, Load);
   ++Dev->Counters.Loads;
   Op O;
   O.Kind = OpKind::Load;
@@ -40,7 +112,9 @@ Word ThreadCtx::load(Addr A) {
 }
 
 void ThreadCtx::store(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Store);
   Dev->memory().store(A, V);
+  GPUSTM_SAN_ACCESS(A, Store);
   Dev->notifyWrite(A);
   ++Dev->Counters.Stores;
   Op O;
@@ -50,7 +124,9 @@ void ThreadCtx::store(Addr A, Word V) {
 }
 
 Word ThreadCtx::atomicCAS(Addr A, Word Expected, Word Desired) {
+  GPUSTM_SAN_BOUNDS(A, Atomic);
   Word Old = Dev->memory().atomicCAS(A, Expected, Desired);
+  GPUSTM_SAN_ACCESS(A, Atomic);
   Dev->notifyWrite(A);
   ++Dev->Counters.Atomics;
   Op O;
@@ -61,7 +137,9 @@ Word ThreadCtx::atomicCAS(Addr A, Word Expected, Word Desired) {
 }
 
 Word ThreadCtx::atomicAdd(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Atomic);
   Word Old = Dev->memory().atomicAdd(A, V);
+  GPUSTM_SAN_ACCESS(A, Atomic);
   Dev->notifyWrite(A);
   ++Dev->Counters.Atomics;
   Op O;
@@ -72,7 +150,9 @@ Word ThreadCtx::atomicAdd(Addr A, Word V) {
 }
 
 Word ThreadCtx::atomicOr(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Atomic);
   Word Old = Dev->memory().atomicOr(A, V);
+  GPUSTM_SAN_ACCESS(A, Atomic);
   Dev->notifyWrite(A);
   ++Dev->Counters.Atomics;
   Op O;
@@ -83,7 +163,9 @@ Word ThreadCtx::atomicOr(Addr A, Word V) {
 }
 
 Word ThreadCtx::atomicExch(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Atomic);
   Word Old = Dev->memory().atomicExch(A, V);
+  GPUSTM_SAN_ACCESS(A, Atomic);
   Dev->notifyWrite(A);
   ++Dev->Counters.Atomics;
   Op O;
@@ -94,7 +176,9 @@ Word ThreadCtx::atomicExch(Addr A, Word V) {
 }
 
 Word ThreadCtx::atomicMin(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Atomic);
   Word Old = Dev->memory().atomicMin(A, V);
+  GPUSTM_SAN_ACCESS(A, Atomic);
   Dev->notifyWrite(A);
   ++Dev->Counters.Atomics;
   Op O;
@@ -106,6 +190,10 @@ Word ThreadCtx::atomicMin(Addr A, Word V) {
 
 void ThreadCtx::threadfence() {
   ++Dev->Counters.Fences;
+#if GPUSTM_SAN_ENABLED
+  if (GPUSTM_UNLIKELY(Dev->San != nullptr))
+    Dev->San->onFence(globalThreadId());
+#endif
   Op O;
   O.Kind = OpKind::Fence;
   yieldOp(O);
@@ -119,6 +207,7 @@ void ThreadCtx::compute(uint32_t Cycles) {
 }
 
 void ThreadCtx::memWaitEquals(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Load);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -128,6 +217,7 @@ void ThreadCtx::memWaitEquals(Addr A, Word V) {
 }
 
 void ThreadCtx::memWaitBitClear(Addr A, Word Mask) {
+  GPUSTM_SAN_BOUNDS(A, Load);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -137,6 +227,7 @@ void ThreadCtx::memWaitBitClear(Addr A, Word Mask) {
 }
 
 void ThreadCtx::memWaitNotEquals(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Load);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -146,6 +237,7 @@ void ThreadCtx::memWaitNotEquals(Addr A, Word V) {
 }
 
 void ThreadCtx::memWaitGreaterEq(Addr A, Word V) {
+  GPUSTM_SAN_BOUNDS(A, Load);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;

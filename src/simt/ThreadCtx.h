@@ -24,6 +24,8 @@
 
 #include "simt/Memory.h"
 #include "simt/Op.h"
+#include "simt/SanHooks.h"
+#include "support/Compiler.h"
 #include "support/FunctionRef.h"
 
 #include <cstdint>
@@ -156,6 +158,33 @@ public:
   /// End the transaction attribution scope.
   void txMarkEnd(bool Committed);
 
+  //===--------------------------------------------------------------------===//
+  // simtsan annotation (see simt/SanHooks.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Tag subsequent memory accesses with \p C for the detector; returns the
+  /// previous class (restore it when the annotated region ends, or use
+  /// MemClassScope).  A pure host-side tag: it never affects simulation
+  /// results, and compiles to nothing under GPUSTM_NO_SAN.
+  MemClass setMemClass(MemClass C) {
+#if GPUSTM_SAN_ENABLED
+    MemClass Old = CurClass;
+    CurClass = C;
+    return Old;
+#else
+    (void)C;
+    return MemClass::Plain;
+#endif
+  }
+  /// Current access-class tag.
+  MemClass memClass() const {
+#if GPUSTM_SAN_ENABLED
+    return CurClass;
+#else
+    return MemClass::Plain;
+#endif
+  }
+
 private:
   friend class Warp;
   friend class Device;
@@ -164,6 +193,13 @@ private:
   /// until the warp scheduler steps the lane again.  Returns the op result
   /// (used by ballot).
   Word yieldOp(const Op &O);
+
+  /// Cold path of the per-access simtsan hook: build a SanAccess with full
+  /// coordinates and deliver it (callers guard on Dev->San).
+  GPUSTM_NOINLINE void sanAccess(Addr A, SanOp Op);
+  /// An access left the memory arena: report through simtsan when attached,
+  /// then abort with coordinates (never undefined behavior).
+  [[noreturn]] GPUSTM_NOINLINE void outOfBoundsAccess(Addr A, SanOp Op);
 
   Device *Dev = nullptr;
   Warp *ParentWarp = nullptr;
@@ -175,6 +211,23 @@ private:
   unsigned BlockDimV = 0;
   unsigned GridDimV = 0;
   unsigned WarpSizeV = 0;
+#if GPUSTM_SAN_ENABLED
+  MemClass CurClass = MemClass::Plain;
+#endif
+};
+
+/// RAII access-class tag: annotates every access in scope with \p C and
+/// restores the previous class on exit.
+class MemClassScope {
+public:
+  MemClassScope(ThreadCtx &Ctx, MemClass C) : Ctx(Ctx), Old(Ctx.setMemClass(C)) {}
+  ~MemClassScope() { Ctx.setMemClass(Old); }
+  MemClassScope(const MemClassScope &) = delete;
+  MemClassScope &operator=(const MemClassScope &) = delete;
+
+private:
+  ThreadCtx &Ctx;
+  MemClass Old;
 };
 
 } // namespace simt

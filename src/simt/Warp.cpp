@@ -158,10 +158,33 @@ void Warp::stepLane(unsigned I) {
     setState(I, LaneState::AtLoopEnd);
     break;
   case OpKind::BlockBarrier:
+#if GPUSTM_SAN_ENABLED
+    // Report the arrival with the warp's SIMT context mask: a barrier
+    // reached while the context is narrower than the live-lane set is a
+    // divergent (hazardous) barrier.
+    if (GPUSTM_UNLIKELY(Dev.San != nullptr)) {
+      SanBarrier B;
+      B.Cycle = Dev.CurrentIssueCycle;
+      B.WarpGid = L.Ctx.warpGlobalId();
+      B.Block = Block->BlockIdx;
+      B.Lane = I;
+      B.ThreadId = L.Ctx.globalThreadId();
+      B.Sm = Block->HomeSM;
+      B.ActiveMask = contextMask();
+      B.ExpectedMask = liveMask(AllLanes);
+      Dev.San->onBarrierArrive(B);
+    }
+#endif
     setState(I, LaneState::AtBlockBarrier);
     Dev.noteBarrierArrival(*Block);
     break;
   case OpKind::MemWait: {
+#if GPUSTM_SAN_ENABLED
+    // Whether the lane parks or passes immediately, it observes the watched
+    // word: an acquire of the last release to that address.
+    if (GPUSTM_UNLIKELY(Dev.San != nullptr))
+      Dev.San->onMemWait(L.Ctx.warpGlobalId(), L.PendingOp.Address);
+#endif
     // Park only when the condition does not already hold; the caller
     // re-checks after waking, so a spurious immediate pass is fine.
     Word Cur = Dev.memory().load(L.PendingOp.Address);

@@ -90,6 +90,19 @@ StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
                       Config.LockLogBucketCap, BucketShift,
                       Sorted ? LockLog::Mode::Sorted : LockLog::Mode::Append);
   }
+
+#if GPUSTM_SAN_ENABLED
+  // Tell an attached simtsan detector where the version locks live so it
+  // can check the lock protocol (ownership, version monotonicity, fencing).
+  if (simt::SanHooks *San = Dev.sanHooks()) {
+    simt::SanStmLayout Layout;
+    Layout.LockTabBase = LockTabBase;
+    Layout.NumLocks = Config.NumLocks;
+    Layout.ClockAddr = ClockAddr;
+    Layout.SeqLockAddr = SeqLockAddr;
+    San->onStmRegister(Layout);
+  }
+#endif
 }
 
 void StmRuntime::emitEvent(const ThreadCtx &Ctx, TxEventKind K, AbortCause C,
@@ -119,23 +132,34 @@ void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
     emitEvent(Ctx, TxEventKind::Begin, AbortCause::None, simt::InvalidAddr, 0,
               0);
   Ctx.setPhase(Phase::Locking);
-  Word MyTicket = Ctx.atomicAdd(CglTicketAddr, 1);
-  for (;;) {
-    Word Serving = Ctx.load(CglServingAddr);
-    if (Serving == MyTicket)
-      break;
-    Ctx.memWaitEquals(CglServingAddr, MyTicket);
+  Word MyTicket;
+  {
+    simt::MemClassScope San(Ctx, simt::MemClass::Meta);
+    MyTicket = Ctx.atomicAdd(CglTicketAddr, 1);
+    for (;;) {
+      Word Serving = Ctx.load(CglServingAddr);
+      if (Serving == MyTicket)
+        break;
+      Ctx.memWaitEquals(CglServingAddr, MyTicket);
+    }
   }
   Ctx.setPhase(Phase::Native);
   Body(T);
   Ctx.threadfence();
   Ctx.setPhase(Phase::Locking);
   D.LastCommitVersion = static_cast<Word>(++CglSerial);
-  Ctx.store(CglServingAddr, MyTicket + 1);
+  {
+    simt::MemClassScope San(Ctx, simt::MemClass::Meta);
+    Ctx.store(CglServingAddr, MyTicket + 1);
+  }
   ++Counters.Commits;
   if (GPUSTM_UNLIKELY(tracing()))
     emitEvent(Ctx, TxEventKind::Commit, AbortCause::None, simt::InvalidAddr, 0,
               D.LastCommitVersion);
+#if GPUSTM_SAN_ENABLED
+  if (simt::SanHooks *SanObs = Dev.sanHooks())
+    SanObs->onTxEnd(Ctx.globalThreadId(), /*Committed=*/true, Dev.now());
+#endif
   Ctx.setPhase(Phase::Native);
 }
 
@@ -145,6 +169,7 @@ void StmRuntime::schedulerAcquire(ThreadCtx &Ctx) {
   // time.  The done-counter is monotonic, so parked lanes use a
   // greater-or-equal wait (one wake per waiter, no thundering herd).
   Ctx.setPhase(simt::Phase::TxInit);
+  simt::MemClassScope San(Ctx, simt::MemClass::Meta);
   Word Ticket = Ctx.atomicAdd(SchedTicketAddr, 1);
   Word Cap = Dev.memory().load(SchedCapAddr); // controller word
   if (Ticket >= Cap) {
@@ -161,6 +186,7 @@ void StmRuntime::schedulerAcquire(ThreadCtx &Ctx) {
 
 void StmRuntime::schedulerRelease(ThreadCtx &Ctx) {
   Ctx.setPhase(simt::Phase::TxInit);
+  simt::MemClassScope San(Ctx, simt::MemClass::Meta);
   Ctx.atomicAdd(SchedDoneAddr, 1);
   Ctx.setPhase(simt::Phase::Native);
 }
@@ -240,6 +266,10 @@ void StmRuntime::transaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
     Body(T);
     bool Committed = T.valid() && T.commit();
     Ctx.txMarkEnd(Committed);
+#if GPUSTM_SAN_ENABLED
+    if (simt::SanHooks *San = Dev.sanHooks())
+      San->onTxEnd(Ctx.globalThreadId(), Committed, Dev.now());
+#endif
     if (Committed) {
       ++Counters.Commits;
       ++SchedWindowCommits;

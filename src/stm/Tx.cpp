@@ -17,9 +17,18 @@ using namespace gpustm::stm;
 using simt::Addr;
 using simt::Phase;
 
+// simtsan access classes (simt/SanHooks.h): STM bookkeeping accesses (logs,
+// lock words, clocks, tickets) are tagged Meta, accesses to program data
+// words on behalf of the transaction (line-24 reads, validation re-reads,
+// write-back stores, Direct-mode accesses) are tagged TxData.  Tags are
+// host-side only and compile out under GPUSTM_NO_SAN.
+using simt::MemClass;
+using simt::MemClassScope;
+
 void Tx::begin() {
   if (Mode == ModeT::Direct)
     return;
+  MemClassScope San(Ctx, MemClass::Meta);
   Ctx.setPhase(Phase::TxInit);
   Desc.ReadCount = 0;
   Desc.WriteCount = 0;
@@ -51,11 +60,13 @@ void Tx::begin() {
 
 Word Tx::read(Addr A) {
   if (Mode == ModeT::Direct) {
+    MemClassScope San(Ctx, MemClass::TxData);
     Word V = Ctx.load(A);
     if (GPUSTM_UNLIKELY(Rt.tracing()))
       Rt.emitEvent(Ctx, TxEventKind::Read, AbortCause::None, A, V, 0);
     return V;
   }
+  MemClassScope San(Ctx, MemClass::Meta);
   assert(Desc.Valid && "reading in an aborted transaction");
   ++Rt.Counters.TxReads;
 
@@ -80,7 +91,11 @@ Word Tx::read(Addr A) {
     Ctx.prefetchMem(readAddrSlot(Desc.ReadCount));
     Ctx.prefetchMem(readValSlot(Desc.ReadCount));
   }
-  Word Val = Ctx.load(A); // line 24
+  Word Val;
+  {
+    MemClassScope SanData(Ctx, MemClass::TxData);
+    Val = Ctx.load(A); // line 24
+  }
 
   // Line 25: log the <addr, val> pair for future validation.
   Ctx.setPhase(Phase::Buffering);
@@ -159,11 +174,13 @@ Word Tx::read(Addr A) {
 
 void Tx::write(Addr A, Word V) {
   if (Mode == ModeT::Direct) {
+    MemClassScope San(Ctx, MemClass::TxData);
     Ctx.store(A, V);
     if (GPUSTM_UNLIKELY(Rt.tracing()))
       Rt.emitEvent(Ctx, TxEventKind::Write, AbortCause::None, A, V, 0);
     return;
   }
+  MemClassScope San(Ctx, MemClass::Meta);
   assert(Desc.Valid && "writing in an aborted transaction");
   ++Rt.Counters.TxWrites;
   if (GPUSTM_UNLIKELY(Rt.tracing()))
@@ -194,6 +211,7 @@ void Tx::write(Addr A, Word V) {
 }
 
 bool Tx::postValidation(Word Version) {
+  MemClassScope San(Ctx, MemClass::Meta);
   Desc.Snapshot = Version; // line 7
   for (;;) {               // line 8
     // Lines 9-11: value-based validation of every logged read.
@@ -205,7 +223,12 @@ bool Tx::postValidation(Word Version) {
       Addr A = Ctx.load(readAddrSlot(I));
       Ctx.prefetchMem(A);
       Word Logged = Ctx.load(readValSlot(I));
-      if (Ctx.load(A) != Logged)
+      Word Cur;
+      {
+        MemClassScope SanData(Ctx, MemClass::TxData);
+        Cur = Ctx.load(A);
+      }
+      if (Cur != Logged)
         return false;
     }
     Ctx.threadfence(); // line 12
@@ -230,6 +253,7 @@ bool Tx::postValidation(Word Version) {
 }
 
 bool Tx::vbv() {
+  MemClassScope San(Ctx, MemClass::Meta);
   ++Rt.Counters.VbvRuns;
   for (unsigned I = 0; I < Desc.ReadCount; ++I) { // lines 62-66
     if (I + 1 < Desc.ReadCount) { // Host prefetch hints (free, no yield).
@@ -239,13 +263,19 @@ bool Tx::vbv() {
     Addr A = Ctx.load(readAddrSlot(I));
     Ctx.prefetchMem(A);
     Word Logged = Ctx.load(readValSlot(I));
-    if (Ctx.load(A) != Logged)
+    Word Cur;
+    {
+      MemClassScope SanData(Ctx, MemClass::TxData);
+      Cur = Ctx.load(A);
+    }
+    if (Cur != Logged)
       return false;
   }
   return true;
 }
 
 bool Tx::getLocksAndTBV(Word *FailedLock) {
+  MemClassScope San(Ctx, MemClass::Meta);
   unsigned Acquired = 0;
   bool Failed = false;
   Word FailedIdx = 0;
@@ -280,6 +310,7 @@ bool Tx::getLocksAndTBV(Word *FailedLock) {
 }
 
 void Tx::releaseLocks(unsigned Count) {
+  MemClassScope San(Ctx, MemClass::Meta);
   // Lines 53-55: clear the lock bit of the first Count acquired locks.
   Desc.Locks.forEachUntil(Ctx, Count, [&](Word Idx, bool, bool) {
     Word VL = Ctx.load(Rt.lockWordAddr(Idx));
@@ -289,6 +320,7 @@ void Tx::releaseLocks(unsigned Count) {
 }
 
 void Tx::releaseAndUpdateLocks(Word Version) {
+  MemClassScope San(Ctx, MemClass::Meta);
   // Lines 56-61: written stripes advance to the new version; read-only
   // stripes just drop the lock bit.
   Desc.Locks.forEach(Ctx, [&](Word Idx, bool Wr, bool) {
@@ -302,6 +334,7 @@ void Tx::releaseAndUpdateLocks(Word Version) {
 }
 
 bool Tx::validateAndWriteBack() {
+  MemClassScope San(Ctx, MemClass::Meta);
   if (!Desc.PassTBV) { // line 75
     Ctx.setPhase(Phase::Commit);
     bool Ok = Rt.Val == Validation::HV && vbv(); // line 76; TBV cannot recover
@@ -323,7 +356,10 @@ bool Tx::validateAndWriteBack() {
     Addr A = Ctx.load(writeAddrSlot(I));
     Ctx.prefetchMem(A);
     Word V = Ctx.load(writeValSlot(I));
-    Ctx.store(A, V);
+    {
+      MemClassScope SanData(Ctx, MemClass::TxData);
+      Ctx.store(A, V);
+    }
   }
   Ctx.threadfence();                                // line 82
   Word Version = Ctx.atomicAdd(Rt.ClockAddr, 1) + 1; // line 83
@@ -334,6 +370,7 @@ bool Tx::validateAndWriteBack() {
 }
 
 bool Tx::commitSorted() {
+  MemClassScope San(Ctx, MemClass::Meta);
   for (;;) { // line 70
     if (Rt.Config.PreLockValidation && Rt.Val == Validation::HV) {
       Ctx.setPhase(Phase::Commit);
@@ -362,6 +399,7 @@ bool Tx::commitBackoff() {
   // per-warp token) while the winners commit in parallel.  Across warps a
   // deterministic, warp-dependent delay desynchronizes retries (per-thread
   // exponential backoff is impossible under lockstep, per Section 3.1).
+  MemClassScope San(Ctx, MemClass::Meta);
   if (Rt.Config.PreLockValidation && Rt.Val == Validation::HV) {
     Ctx.setPhase(Phase::Commit);
     if (!vbv()) { // Same optional line-71 filter commitSorted applies.
@@ -397,6 +435,7 @@ bool Tx::commitBackoff() {
 }
 
 bool Tx::norecPostValidate() {
+  MemClassScope San(Ctx, MemClass::Meta);
   ++Rt.Counters.VbvRuns;
   for (;;) {
     Word T = Ctx.load(Rt.SeqLockAddr);
@@ -417,7 +456,12 @@ bool Tx::norecPostValidate() {
       Addr A = Ctx.load(readAddrSlot(I));
       Ctx.prefetchMem(A);
       Word Logged = Ctx.load(readValSlot(I));
-      if (Ctx.load(A) != Logged)
+      Word Cur;
+      {
+        MemClassScope SanData(Ctx, MemClass::TxData);
+        Cur = Ctx.load(A);
+      }
+      if (Cur != Logged)
         Match = false;
     }
     if (!Match)
@@ -431,6 +475,7 @@ bool Tx::norecPostValidate() {
 }
 
 bool Tx::norecCommit() {
+  MemClassScope San(Ctx, MemClass::Meta);
   Ctx.setPhase(Phase::Locking);
   // Acquire the single global sequence lock; every CAS failure means some
   // transaction committed, so revalidate by value (NOrec).
@@ -460,7 +505,10 @@ bool Tx::norecCommit() {
     Addr A = Ctx.load(writeAddrSlot(I));
     Ctx.prefetchMem(A);
     Word V = Ctx.load(writeValSlot(I));
-    Ctx.store(A, V);
+    {
+      MemClassScope SanData(Ctx, MemClass::TxData);
+      Ctx.store(A, V);
+    }
   }
   Ctx.threadfence();
   Ctx.setPhase(Phase::Locking);

@@ -32,6 +32,26 @@ inline Word lockVersion(Word VersionLock) { return VersionLock >> 1; }
 /// Encode an unlocked version-lock word holding \p Version.
 inline Word makeVersionLock(Word Version) { return Version << 1; }
 
+//===----------------------------------------------------------------------===//
+// Ownership-protocol helpers (used by simtsan's lock-invariant checks)
+//===----------------------------------------------------------------------===//
+//
+// The protocol every lock word must follow (Algorithm 3 lines 45, 53-61):
+// an even->odd transition is an acquire and makes the acquiring thread the
+// owner; an odd->even transition is a release and is legal only by the
+// owner, with a version that never decreases, and -- when the version
+// advances (a commit publishing write-back data) -- only after a
+// threadfence ordering the write-back stores.
+
+/// Did \p New leave the word held (an acquire, or a failed CAS observing a
+/// holder)?
+inline bool lockWordHeld(Word New) { return lockBit(New); }
+
+/// Is releasing from version \p AtAcquire to \p AtRelease monotone?
+inline bool lockVersionMonotone(Word AtAcquire, Word AtRelease) {
+  return AtRelease >= AtAcquire;
+}
+
 } // namespace stm
 } // namespace gpustm
 

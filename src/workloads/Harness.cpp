@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "workloads/Harness.h"
+#include "analysis/Simtsan.h"
 #include "support/EnvOptions.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -54,6 +55,21 @@ static std::string resolveTracePath(const HarnessConfig &Config) {
   unsigned Run = RunsPerPath[Path]++;
   return Run == 0 ? Path : formatString("%s.%u", Path.c_str(), Run);
 }
+
+#if GPUSTM_SAN_ENABLED
+/// Where an environment-enabled simtsan run writes its JSON report, with
+/// the same ".N" multi-run suffixing resolveTracePath applies.
+static std::string resolveSanReportPath() {
+  std::string Path = envString("GPUSTM_SAN_REPORT", "simtsan_report.json");
+  if (Path.empty())
+    return Path;
+  static std::mutex RunsMutex;
+  static std::map<std::string, unsigned> RunsPerPath;
+  std::lock_guard<std::mutex> Lock(RunsMutex);
+  unsigned Run = RunsPerPath[Path]++;
+  return Run == 0 ? Path : formatString("%s.%u", Path.c_str(), Run);
+}
+#endif // GPUSTM_SAN_ENABLED
 
 /// Widest launch across kernels (the STM runtime sizes its per-thread and
 /// per-warp metadata for the largest one).
@@ -106,6 +122,33 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
                    (1u << 16) /* slack */;
 
   simt::Device Dev(DC);
+
+  // simtsan: a caller-owned observer wins; otherwise GPUSTM_SAN=1 makes the
+  // harness own a detector for this run.  Attached before the STM runtime
+  // is built so the detector sees the lock-table registration.
+  simt::SanHooks *San = Config.San;
+  std::unique_ptr<analysis::Simtsan> OwnedSan;
+  std::string SanReportPath;
+#if GPUSTM_SAN_ENABLED
+  if (!San && envBool("GPUSTM_SAN", false)) {
+    analysis::SimtsanOptions SanOpts;
+    SanOpts.MaxReports = envUnsigned("GPUSTM_SAN_MAX_REPORTS", 100);
+    OwnedSan = std::make_unique<analysis::Simtsan>(SanOpts);
+    San = OwnedSan.get();
+    SanReportPath = resolveSanReportPath();
+  }
+  if (San)
+    Dev.setSanHooks(San);
+#else
+  if (envBool("GPUSTM_SAN", false)) {
+    static std::once_flag WarnOnce;
+    std::call_once(WarnOnce, [] {
+      std::fprintf(stderr, "simtsan: compiled out (GPUSTM_NO_SAN); "
+                           "GPUSTM_SAN is ignored\n");
+    });
+  }
+#endif
+
   W.setup(Dev);
   StmRuntime Stm(Dev, SC, Max);
 
@@ -182,6 +225,19 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
       if (!trace::writeTrace(OwnedRecorder->trace(), TracePath, &Err))
         std::fprintf(stderr, "GPUSTM_TRACE: %s\n", Err.c_str());
     }
+  }
+
+  if (San)
+    Result.SanReports = San->findingCount();
+  if (OwnedSan) {
+    if (!SanReportPath.empty() && !OwnedSan->writeJsonFile(SanReportPath))
+      std::fprintf(stderr, "GPUSTM_SAN_REPORT: cannot write %s\n",
+                   SanReportPath.c_str());
+    if (OwnedSan->findingCount() != 0)
+      std::fprintf(stderr,
+                   "simtsan: %llu finding(s) in workload %s (report: %s)\n",
+                   static_cast<unsigned long long>(OwnedSan->findingCount()),
+                   W.name(), SanReportPath.c_str());
   }
 
   if (Result.Completed && Config.Verify) {

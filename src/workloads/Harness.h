@@ -60,6 +60,13 @@ struct HarnessConfig {
   /// binary trace there; a second run through the same config appends
   /// ".1", ".2", ... so kernels-in-sequence do not clobber each other.
   std::string TracePath;
+  /// Caller-owned simtsan observer (src/analysis/): when set, the harness
+  /// attaches it to the device for the whole run.  When unset, GPUSTM_SAN=1
+  /// makes the harness construct a detector itself and write its JSON
+  /// report to GPUSTM_SAN_REPORT (default simtsan_report.json, with the
+  /// same ".N" multi-run suffixing as traces).  Detection never changes
+  /// modeled results.
+  simt::SanHooks *San = nullptr;
 };
 
 /// Harness measurements.
@@ -81,6 +88,8 @@ struct HarnessResult {
   /// Host wall time spent simulating the kernels (throughput metric only;
   /// never feeds back into modeled cycles or any deterministic result).
   uint64_t WallNanos = 0;
+  /// Unique simtsan findings over the run (0 when no detector attached).
+  uint64_t SanReports = 0;
 
   /// Abort rate: aborts / (commits + aborts).
   double abortRate() const {

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Simtsan.h"
 #include "support/Format.h"
 #include "trace/Analysis.h"
 #include "trace/Checker.h"
@@ -48,7 +49,12 @@ int usage(const char *Argv0) {
       "  report <trace> [--top N]\n"
       "      Abort-cause attribution, wasted work, contention heatmap.\n"
       "  export <trace> [-o <out.json>] [--ops]\n"
-      "      Chrome trace_event JSON for Perfetto / chrome://tracing.\n",
+      "      Chrome trace_event JSON for Perfetto / chrome://tracing.\n"
+      "  san    -w <RA|HT|EB|LB|GN|KM> [-v <variant>] [--scale N]\n"
+      "         [--locks N] [--no-verify] [--max-reports N] [-o <out.json>]\n"
+      "      Run a workload with the simtsan race/isolation/SIMT-hazard\n"
+      "      detector attached; print every finding and exit non-zero if\n"
+      "      there are any.\n",
       Argv0);
   return 2;
 }
@@ -266,6 +272,111 @@ int cmdExport(Args &A) {
   return 0;
 }
 
+int cmdSan(Args &A) {
+  std::string WorkloadName, Out;
+  stm::Variant Kind = stm::Variant::HVSorting;
+  unsigned Scale = 1;
+  uint64_t NumLocks = 1u << 16;
+  uint64_t MaxReports = 100;
+  bool Verify = true;
+
+  while (!A.done()) {
+    std::string Arg = A.next();
+    std::string Val;
+    if (Arg == "-w" || Arg == "--workload") {
+      if (!A.value(Arg.c_str(), WorkloadName))
+        return 2;
+    } else if (Arg == "-v" || Arg == "--variant") {
+      if (!A.value(Arg.c_str(), Val))
+        return 2;
+      if (!parseVariant(Val, Kind)) {
+        std::fprintf(stderr, "stmtrace: unknown variant '%s'\n", Val.c_str());
+        return 2;
+      }
+    } else if (Arg == "--scale") {
+      if (!A.value(Arg.c_str(), Val))
+        return 2;
+      Scale = static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+    } else if (Arg == "--locks") {
+      if (!A.value(Arg.c_str(), Val))
+        return 2;
+      NumLocks = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (Arg == "--max-reports") {
+      if (!A.value(Arg.c_str(), Val))
+        return 2;
+      MaxReports = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (Arg == "-o" || Arg == "--out") {
+      if (!A.value(Arg.c_str(), Out))
+        return 2;
+    } else if (Arg == "--no-verify") {
+      Verify = false;
+    } else {
+      std::fprintf(stderr, "stmtrace: unknown san option '%s'\n", Arg.c_str());
+      return 2;
+    }
+  }
+  if (WorkloadName.empty()) {
+    std::fprintf(stderr, "stmtrace: san needs -w <workload>\n");
+    return 2;
+  }
+#if !GPUSTM_SAN_ENABLED
+  std::fprintf(stderr, "stmtrace: simtsan hooks are compiled out "
+                       "(GPUSTM_NO_SAN); rebuild without it\n");
+  return 2;
+#endif
+
+  std::unique_ptr<workloads::Workload> W =
+      workloads::makeWorkload(WorkloadName, Scale);
+  workloads::HarnessConfig HC;
+  HC.Kind = Kind;
+  HC.Launches = workloads::paperLaunches(WorkloadName, Scale);
+  HC.NumLocks = NumLocks;
+  HC.Verify = Verify;
+  analysis::SimtsanOptions SanOpts;
+  SanOpts.MaxReports = MaxReports;
+  SanOpts.PrintToStderr = false; // Findings are printed in one block below.
+  analysis::Simtsan San(SanOpts);
+  HC.San = &San;
+
+  workloads::HarnessResult R = workloads::runWorkload(*W, HC);
+  if (!R.Completed || (Verify && !R.Verified)) {
+    std::fprintf(stderr, "stmtrace: %s/%s run failed: %s\n",
+                 WorkloadName.c_str(), stm::variantName(Kind),
+                 R.Error.c_str());
+    return 1;
+  }
+  if (!Out.empty() && !San.writeJsonFile(Out)) {
+    std::fprintf(stderr, "stmtrace: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+
+  std::printf("simtsan %s/%s: %llu cycles, %llu commits, %llu aborts, "
+              "%llu finding(s)\n",
+              WorkloadName.c_str(), stm::variantName(Kind),
+              static_cast<unsigned long long>(R.TotalCycles),
+              static_cast<unsigned long long>(R.Stm.Commits),
+              static_cast<unsigned long long>(R.Stm.Aborts),
+              static_cast<unsigned long long>(San.findingCount()));
+  for (unsigned K = 0; K < analysis::NumReportKinds; ++K) {
+    uint64_t N = San.count(static_cast<analysis::ReportKind>(K));
+    if (N != 0)
+      std::printf("  %-24s %llu\n",
+                  analysis::reportKindName(static_cast<analysis::ReportKind>(K)),
+                  static_cast<unsigned long long>(N));
+  }
+  for (const analysis::SanReport &Rep : San.reports())
+    std::printf("%s: %s [block %u warp %u lane %u thread %u sm %u "
+                "cycle %llu]\n",
+                analysis::reportKindName(Rep.Kind), Rep.Message.c_str(),
+                Rep.Block, Rep.Warp, Rep.Lane, Rep.Thread, Rep.Sm,
+                static_cast<unsigned long long>(Rep.Cycle));
+  if (San.findingCount() > San.reports().size())
+    std::printf("(%llu finding(s) beyond the --max-reports cap not shown)\n",
+                static_cast<unsigned long long>(San.findingCount() -
+                                                San.reports().size()));
+  return San.findingCount() == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -281,6 +392,8 @@ int main(int Argc, char **Argv) {
     return cmdReport(A);
   if (Cmd == "export")
     return cmdExport(A);
+  if (Cmd == "san")
+    return cmdSan(A);
   std::fprintf(stderr, "stmtrace: unknown command '%s'\n", Cmd.c_str());
   return usage(Argv[0]);
 }
