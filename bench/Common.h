@@ -213,7 +213,9 @@ inline BenchJson::Row &wallFields(BenchJson::Row &Row,
                                   const workloads::HarnessResult &R) {
   return Row.num("wall_ms", R.wallMs())
       .num("rounds_per_sec", R.roundsPerSec())
-      .num("switches_per_round", R.switchesPerRound());
+      .num("switches_per_round", R.switchesPerRound())
+      .num("replays", R.HostReplays)
+      .num("replay_rate", R.replayRate());
 }
 
 } // namespace bench

@@ -1,0 +1,257 @@
+//===- simt/Spec.h - Speculative warp-round execution record ----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RoundSpec captures everything a speculatively executed warp round did, so
+/// the device scheduler can run rounds from different SMs on worker threads
+/// and still commit them in exactly the serial (issue-cycle, SM-index) order
+/// (GPUSTM_DEVICE_JOBS > 1; see DESIGN.md section 9).
+///
+/// While a round runs under a RoundSpec, nothing escapes to shared device
+/// state: loads are logged as (address, value) pairs for commit-time value
+/// validation, stores and atomics are buffered in program order, memWait
+/// parks and finished-lane stack releases are deferred, and simulator event
+/// counters accumulate into a private delta.  The warp (and anything else
+/// the round may eagerly mutate: sibling warps released from a block
+/// barrier, the block's lane accounting, the lanes' host-side STM
+/// descriptors, and the stepped lanes' fiber stacks) is checkpointed first,
+/// so a misspeculated round restores and re-executes bit-identically.
+///
+/// A RoundSpec is also used for the coordinator's authoritative re-execution
+/// (IsReplay = true): same buffered memory path, but reads are not logged,
+/// out-of-bounds accesses are fatal (serial semantics), and host serial
+/// points drain concurrent specs instead of dooming the round.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_SIMT_SPEC_H
+#define GPUSTM_SIMT_SPEC_H
+
+#include "simt/Op.h"
+#include "simt/Warp.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace gpustm {
+namespace simt {
+
+/// Hot-path event counters (plain fields; folded into the LaunchResult's
+/// StatsSet when the launch ends).  Speculative rounds accumulate a private
+/// delta that is folded into the device totals at commit, so totals are
+/// identical to a serial run.
+struct SimCounters {
+  uint64_t Rounds = 0;
+  /// Lane fiber resumptions (one switch-in/switch-out pair each); with
+  /// Rounds this gives the host-side fiber-switches-per-round metric.
+  uint64_t LaneSteps = 0;
+  uint64_t MemTransactions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Atomics = 0;
+  uint64_t Fences = 0;
+};
+
+/// One speculatively (or authoritatively re-) executed warp round.
+struct RoundSpec {
+  /// What the coordinator scheduled: the SM's cached candidate at queue
+  /// time.  An invariant of the parallel loop is that any event that could
+  /// change an SM's candidate reclaims its in-flight spec first, so at
+  /// commit these still match the SM's candidate exactly.
+  Warp *W = nullptr;
+  uint64_t Issue = 0;
+  unsigned IssuedIdx = 0;
+  unsigned SmIdx = 0;
+  /// Authoritative coordinator re-execution (see file comment).
+  bool IsReplay = false;
+  /// Set by the round itself (host serial point, out-of-bounds access) or
+  /// by the coordinator (a committed round invalidated this SM's schedule);
+  /// a doomed round is discarded, restored, and re-executed.
+  std::atomic<bool> Doomed{false};
+
+  /// One logged memory access.
+  struct AccessEntry {
+    Addr A;
+    Word V;
+  };
+  /// Arena reads, in program order, with the values observed (only reads
+  /// served from memory; reads satisfied by the write buffer are omitted).
+  /// Commit validates that memory still holds these values.
+  std::vector<AccessEntry> Reads;
+  /// Buffered stores (including atomics' store halves) in program order;
+  /// commit applies them with the serial path's per-store wake semantics.
+  std::vector<AccessEntry> Writes;
+
+  /// A memWait park deferred to commit (Canceled when a later store of the
+  /// same round satisfied the wait, mirroring the serial same-round wake).
+  struct PendingPark {
+    Addr A;
+    Word Aux;
+    unsigned LaneIdx;
+    MemWaitKind Wait;
+    bool Canceled;
+  };
+  std::vector<PendingPark> Parks;
+
+  /// Stacks of lanes that finished during the round; recycled at commit
+  /// (a discarded round reinstates them via the lane checkpoint instead).
+  std::vector<FiberStack> StackReleases;
+
+  /// Private counter delta, folded into the device totals at commit.
+  SimCounters Counters;
+  /// The round's cost, filled in by the executing thread.
+  RoundCost Cost;
+
+  //===------------------------------------------------------------------===//
+  // Checkpoint (taken before a speculative round executes)
+  //===------------------------------------------------------------------===//
+
+  /// Per-lane saved state: the Lane value (fiber handle, scheduling state,
+  /// pending op, attribution) plus, for lanes that will be stepped, the
+  /// live fiber-stack bytes [savedSP, stack top) and the lane's host-side
+  /// client state (the STM descriptor; see Device::setLaneStateHook).
+  std::vector<Lane> SavedLanes;
+  /// Runnable mask at round start (the lanes whose fibers may run).
+  uint64_t SteppedMask = 0;
+  /// Concatenated fiber-stack images of the stepped lanes.
+  std::vector<char> StackImage;
+  struct StackSlice {
+    unsigned LaneIdx;
+    size_t Offset;
+    size_t Bytes;
+    char *Dst; ///< The suspended frame's address (restore target).
+  };
+  std::vector<StackSlice> StackSlices;
+  /// Concatenated lane client-state images (one fixed-size record per
+  /// stepped lane, in LaneIdx order), plus their restore targets.
+  std::vector<char> ClientImage;
+  std::vector<void *> ClientDsts;
+
+  /// Executing warp's reconvergence state.
+  std::vector<SimtFrame> SavedStack;
+  uint64_t SavedStateMask[NumLaneStates] = {};
+  bool SavedConvergencePending = false;
+  uint64_t SavedReadyAt = 0;
+
+  /// Block accounting the round may mutate eagerly.
+  unsigned SavedLiveLanes = 0;
+  unsigned SavedBarrierArrived = 0;
+  bool SavedRetirePending = false;
+
+  /// Lazily captured sibling warps (snapshotted before a block-barrier
+  /// release or a lane finish mutates their scheduling state; their fibers
+  /// are never run, so no stack images are needed).
+  struct SiblingSnap {
+    Warp *W;
+    std::vector<Lane> Lanes;
+    std::vector<SimtFrame> Stack;
+    uint64_t StateMask[NumLaneStates];
+    bool ConvergencePending;
+    uint64_t ReadyAt;
+  };
+  std::vector<SiblingSnap> Siblings;
+
+  //===------------------------------------------------------------------===//
+  // Buffered memory operations
+  //===------------------------------------------------------------------===//
+
+  /// Read through the write buffer (newest same-address store wins), else
+  /// from memory, logging the observed value for commit-time validation.
+  Word specLoad(const Memory &M, Addr A) {
+    for (size_t I = Writes.size(); I > 0; --I)
+      if (Writes[I - 1].A == A)
+        return Writes[I - 1].V;
+    Word V = M.load(A);
+    if (!IsReplay)
+      Reads.push_back({A, V});
+    return V;
+  }
+
+  /// Buffer a store and apply the serial path's same-round wake semantics
+  /// to parks this round has already deferred.
+  void specStore(Addr A, Word V) {
+    Writes.push_back({A, V});
+    for (PendingPark &P : Parks)
+      if (!P.Canceled && P.A == A && memWaitSatisfied(P.Wait, V, P.Aux)) {
+        P.Canceled = true;
+        W->setState(P.LaneIdx, LaneState::Runnable);
+      }
+  }
+
+  /// Atomics compose from the buffered load/store halves, mirroring the
+  /// serial Memory helpers (the read is logged, so a conflicting commit
+  /// in between invalidates the round).
+  Word specAtomicAdd(const Memory &M, Addr A, Word V) {
+    Word Old = specLoad(M, A);
+    specStore(A, Old + V);
+    return Old;
+  }
+  Word specAtomicOr(const Memory &M, Addr A, Word V) {
+    Word Old = specLoad(M, A);
+    specStore(A, Old | V);
+    return Old;
+  }
+  Word specAtomicCAS(const Memory &M, Addr A, Word Expected, Word Desired) {
+    Word Old = specLoad(M, A);
+    if (Old == Expected)
+      specStore(A, Desired);
+    return Old;
+  }
+  Word specAtomicExch(const Memory &M, Addr A, Word V) {
+    Word Old = specLoad(M, A);
+    specStore(A, V);
+    return Old;
+  }
+  Word specAtomicMin(const Memory &M, Addr A, Word V) {
+    Word Old = specLoad(M, A);
+    if (V < Old)
+      specStore(A, V);
+    return Old;
+  }
+
+  /// Every value in Reads still matches memory (nothing this round depends
+  /// on was changed by a round that committed after our snapshot).
+  bool validateReads(const Memory &M) const {
+    for (const AccessEntry &E : Reads)
+      if (M.load(E.A) != E.V)
+        return false;
+    return true;
+  }
+
+  /// Reset for reuse (buffers keep their capacity round to round).
+  void reset(Warp *Wp, uint64_t IssueCycle, unsigned Idx, unsigned Sm,
+             bool Replay) {
+    W = Wp;
+    Issue = IssueCycle;
+    IssuedIdx = Idx;
+    SmIdx = Sm;
+    IsReplay = Replay;
+    Doomed.store(false, std::memory_order_relaxed);
+    Reads.clear();
+    Writes.clear();
+    Parks.clear();
+    StackReleases.clear();
+    Counters = SimCounters();
+    Cost = RoundCost();
+    SteppedMask = 0;
+    StackImage.clear();
+    StackSlices.clear();
+    ClientImage.clear();
+    ClientDsts.clear();
+    Siblings.clear();
+  }
+};
+
+/// The RoundSpec the current thread is executing a round under (null in
+/// serial mode and on the coordinator outside a replay).  Thread-local so
+/// worker threads and the coordinator route memory operations independently.
+extern thread_local RoundSpec *ActiveSpecTLS;
+
+} // namespace simt
+} // namespace gpustm
+
+#endif // GPUSTM_SIMT_SPEC_H

@@ -7,6 +7,7 @@
 #include "simt/ThreadCtx.h"
 #include "simt/Device.h"
 #include "simt/Fiber.h"
+#include "simt/Spec.h"
 #include "simt/Warp.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -39,11 +40,19 @@ unsigned ThreadCtx::smId() const {
 
 // Arena bounds check (always on): an out-of-arena word access used to be
 // undefined behavior in release builds; now it is a diagnosable abort, with
-// a simtsan report first when a detector is attached.
+// a simtsan report first when a detector is attached.  A *speculative*
+// round that trips it may be a misspeculation (a torn read fabricated the
+// address), so it dooms itself instead of aborting; the authoritative
+// replay at the serial commit point either passes (misspeculation) or
+// aborts with exactly the serial run's coordinates and cycle.
 #define GPUSTM_SAN_BOUNDS(A, OPK)                                              \
   do {                                                                         \
-    if (GPUSTM_UNLIKELY(static_cast<size_t>(A) >= Dev->memory().size()))       \
+    if (GPUSTM_UNLIKELY(static_cast<size_t>(A) >= Dev->memory().size())) {     \
+      RoundSpec *BS_ = ActiveSpecTLS;                                          \
+      if (BS_ != nullptr && !BS_->IsReplay)                                    \
+        specDoomedPark(*BS_);                                                  \
       outOfBoundsAccess((A), SanOp::OPK);                                      \
+    }                                                                          \
   } while (false)
 
 #if GPUSTM_SAN_ENABLED
@@ -97,13 +106,48 @@ Word ThreadCtx::yieldOp(const Op &O) {
   return Self->OpResult;
 }
 
+void ThreadCtx::specDoomedPark(RoundSpec &S) {
+  S.Doomed.store(true, std::memory_order_relaxed);
+  // Yield forever: the executing thread stops stepping lanes at the next
+  // doom check, and restoreRound rewinds this stack past this frame.
+  Op O;
+  O.Kind = OpKind::Compute;
+  O.Cycles = 1;
+  for (;;)
+    yieldOp(O);
+}
+
+void ThreadCtx::hostSerialPoint() {
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_LIKELY(S == nullptr))
+    return;
+  if (S->IsReplay) {
+    Dev->drainSpecsForSerialPoint();
+    return;
+  }
+  specDoomedPark(*S);
+}
+
 void ThreadCtx::prefetchMem(Addr A) const { Dev->memory().prefetch(A); }
+
+// The memory operations below run either directly against the arena (the
+// serial loop, the common case) or, under an in-flight RoundSpec, through
+// the spec's logged-read / buffered-write view.  The simtsan access hook
+// stays in the serial branch only: an attached observer forces serial
+// execution, so the two never coexist.
 
 Word ThreadCtx::load(Addr A) {
   GPUSTM_SAN_BOUNDS(A, Load);
-  Word V = Dev->memory().load(A);
-  GPUSTM_SAN_ACCESS(A, Load);
-  ++Dev->Counters.Loads;
+  Word V;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    V = S->specLoad(Dev->memory(), A);
+    ++S->Counters.Loads;
+  } else {
+    V = Dev->memory().load(A);
+    GPUSTM_SAN_ACCESS(A, Load);
+    ++Dev->Counters.Loads;
+  }
   Op O;
   O.Kind = OpKind::Load;
   O.Address = A;
@@ -113,10 +157,16 @@ Word ThreadCtx::load(Addr A) {
 
 void ThreadCtx::store(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Store);
-  Dev->memory().store(A, V);
-  GPUSTM_SAN_ACCESS(A, Store);
-  Dev->notifyWrite(A);
-  ++Dev->Counters.Stores;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    S->specStore(A, V);
+    ++S->Counters.Stores;
+  } else {
+    Dev->memory().store(A, V);
+    GPUSTM_SAN_ACCESS(A, Store);
+    Dev->notifyWrite(A);
+    ++Dev->Counters.Stores;
+  }
   Op O;
   O.Kind = OpKind::Store;
   O.Address = A;
@@ -125,10 +175,17 @@ void ThreadCtx::store(Addr A, Word V) {
 
 Word ThreadCtx::atomicCAS(Addr A, Word Expected, Word Desired) {
   GPUSTM_SAN_BOUNDS(A, Atomic);
-  Word Old = Dev->memory().atomicCAS(A, Expected, Desired);
-  GPUSTM_SAN_ACCESS(A, Atomic);
-  Dev->notifyWrite(A);
-  ++Dev->Counters.Atomics;
+  Word Old;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    Old = S->specAtomicCAS(Dev->memory(), A, Expected, Desired);
+    ++S->Counters.Atomics;
+  } else {
+    Old = Dev->memory().atomicCAS(A, Expected, Desired);
+    GPUSTM_SAN_ACCESS(A, Atomic);
+    Dev->notifyWrite(A);
+    ++Dev->Counters.Atomics;
+  }
   Op O;
   O.Kind = OpKind::Atomic;
   O.Address = A;
@@ -138,10 +195,17 @@ Word ThreadCtx::atomicCAS(Addr A, Word Expected, Word Desired) {
 
 Word ThreadCtx::atomicAdd(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Atomic);
-  Word Old = Dev->memory().atomicAdd(A, V);
-  GPUSTM_SAN_ACCESS(A, Atomic);
-  Dev->notifyWrite(A);
-  ++Dev->Counters.Atomics;
+  Word Old;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    Old = S->specAtomicAdd(Dev->memory(), A, V);
+    ++S->Counters.Atomics;
+  } else {
+    Old = Dev->memory().atomicAdd(A, V);
+    GPUSTM_SAN_ACCESS(A, Atomic);
+    Dev->notifyWrite(A);
+    ++Dev->Counters.Atomics;
+  }
   Op O;
   O.Kind = OpKind::Atomic;
   O.Address = A;
@@ -151,10 +215,17 @@ Word ThreadCtx::atomicAdd(Addr A, Word V) {
 
 Word ThreadCtx::atomicOr(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Atomic);
-  Word Old = Dev->memory().atomicOr(A, V);
-  GPUSTM_SAN_ACCESS(A, Atomic);
-  Dev->notifyWrite(A);
-  ++Dev->Counters.Atomics;
+  Word Old;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    Old = S->specAtomicOr(Dev->memory(), A, V);
+    ++S->Counters.Atomics;
+  } else {
+    Old = Dev->memory().atomicOr(A, V);
+    GPUSTM_SAN_ACCESS(A, Atomic);
+    Dev->notifyWrite(A);
+    ++Dev->Counters.Atomics;
+  }
   Op O;
   O.Kind = OpKind::Atomic;
   O.Address = A;
@@ -164,10 +235,17 @@ Word ThreadCtx::atomicOr(Addr A, Word V) {
 
 Word ThreadCtx::atomicExch(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Atomic);
-  Word Old = Dev->memory().atomicExch(A, V);
-  GPUSTM_SAN_ACCESS(A, Atomic);
-  Dev->notifyWrite(A);
-  ++Dev->Counters.Atomics;
+  Word Old;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    Old = S->specAtomicExch(Dev->memory(), A, V);
+    ++S->Counters.Atomics;
+  } else {
+    Old = Dev->memory().atomicExch(A, V);
+    GPUSTM_SAN_ACCESS(A, Atomic);
+    Dev->notifyWrite(A);
+    ++Dev->Counters.Atomics;
+  }
   Op O;
   O.Kind = OpKind::Atomic;
   O.Address = A;
@@ -177,10 +255,17 @@ Word ThreadCtx::atomicExch(Addr A, Word V) {
 
 Word ThreadCtx::atomicMin(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Atomic);
-  Word Old = Dev->memory().atomicMin(A, V);
-  GPUSTM_SAN_ACCESS(A, Atomic);
-  Dev->notifyWrite(A);
-  ++Dev->Counters.Atomics;
+  Word Old;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    Old = S->specAtomicMin(Dev->memory(), A, V);
+    ++S->Counters.Atomics;
+  } else {
+    Old = Dev->memory().atomicMin(A, V);
+    GPUSTM_SAN_ACCESS(A, Atomic);
+    Dev->notifyWrite(A);
+    ++Dev->Counters.Atomics;
+  }
   Op O;
   O.Kind = OpKind::Atomic;
   O.Address = A;
@@ -189,7 +274,11 @@ Word ThreadCtx::atomicMin(Addr A, Word V) {
 }
 
 void ThreadCtx::threadfence() {
-  ++Dev->Counters.Fences;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr))
+    ++S->Counters.Fences;
+  else
+    ++Dev->Counters.Fences;
 #if GPUSTM_SAN_ENABLED
   if (GPUSTM_UNLIKELY(Dev->San != nullptr))
     Dev->San->onFence(globalThreadId());

@@ -34,6 +34,7 @@ namespace simt {
 
 class Device;
 struct BlockState;
+struct RoundSpec;
 
 /// Scheduling state of one lane.
 enum class LaneState : uint8_t {
@@ -147,9 +148,13 @@ public:
 private:
   friend class ThreadCtx;
   friend class Device;
+  friend struct RoundSpec;
 
   /// Step one lane: resume its fiber until it yields an op or finishes.
-  void stepLane(unsigned I);
+  /// \p Spec is the round's speculation record (null in serial mode): memory
+  /// reads, parks, and stack releases route through it instead of device
+  /// state.
+  void stepLane(unsigned I, RoundSpec *Spec);
   /// Try to resolve every pending convergence condition; may release lanes.
   void resolveConvergence();
   /// Compute the cost of the ops stepped this round.

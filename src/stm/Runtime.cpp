@@ -10,6 +10,8 @@
 #include "support/Format.h"
 #include "support/MathExtras.h"
 
+#include <type_traits>
+
 using namespace gpustm;
 using namespace gpustm::stm;
 using simt::Addr;
@@ -91,6 +93,20 @@ StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
                       Sorted ? LockLog::Mode::Sorted : LockLog::Mode::Append);
   }
 
+  // A transaction's whole host-side state (snapshot, set sizes, bloom
+  // filter, lock-log counters, staged counters) lives in its TxDesc.
+  // Register it with the device so speculative rounds checkpoint and
+  // restore it alongside lane registers; that is what makes a doomed
+  // speculation side-effect free at this layer.
+  static_assert(std::is_trivially_copyable_v<TxDesc>,
+                "TxDesc is checkpointed by memcpy under speculation");
+  simt::Device::LaneStateHook Hook;
+  Hook.StateBytes = sizeof(TxDesc);
+  Hook.Locate = [this](unsigned GlobalThreadId) -> void * {
+    return &Descs[GlobalThreadId];
+  };
+  Dev.setLaneStateHook(Hook);
+
 #if GPUSTM_SAN_ENABLED
   // Tell an attached simtsan detector where the version locks live so it
   // can check the lock protocol (ownership, version monotonicity, fencing).
@@ -103,6 +119,33 @@ StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
     San->onStmRegister(Layout);
   }
 #endif
+}
+
+StmRuntime::~StmRuntime() { Dev.setLaneStateHook(simt::Device::LaneStateHook()); }
+
+StmCounters StmRuntime::counters() const {
+  StmCounters C = Counters;
+  for (const TxDesc &D : Descs) {
+    const StmCounters &S = D.Stats;
+    C.Commits += S.Commits;
+    C.ReadOnlyCommits += S.ReadOnlyCommits;
+    C.Aborts += S.Aborts;
+    C.AbortsReadValidation += S.AbortsReadValidation;
+    C.AbortsCommitValidation += S.AbortsCommitValidation;
+    C.LockFailures += S.LockFailures;
+    C.StaleSnapshots += S.StaleSnapshots;
+    C.FalseConflictsAvoided += S.FalseConflictsAvoided;
+    C.VbvRuns += S.VbvRuns;
+    C.TxReads += S.TxReads;
+    C.TxWrites += S.TxWrites;
+  }
+  return C;
+}
+
+void StmRuntime::resetCounters() {
+  Counters = StmCounters();
+  for (TxDesc &D : Descs)
+    D.Stats = StmCounters();
 }
 
 void StmRuntime::emitEvent(const ThreadCtx &Ctx, TxEventKind K, AbortCause C,
@@ -147,12 +190,14 @@ void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
   Body(T);
   Ctx.threadfence();
   Ctx.setPhase(Phase::Locking);
-  D.LastCommitVersion = static_cast<Word>(++CglSerial);
+  // The ticket lock totally orders CGL critical sections, so the ticket
+  // itself is the serial number (1-based like a clock version).
+  D.LastCommitVersion = static_cast<Word>(MyTicket + 1);
   {
     simt::MemClassScope San(Ctx, simt::MemClass::Meta);
     Ctx.store(CglServingAddr, MyTicket + 1);
   }
-  ++Counters.Commits;
+  ++D.Stats.Commits;
   if (GPUSTM_UNLIKELY(tracing()))
     emitEvent(Ctx, TxEventKind::Commit, AbortCause::None, simt::InvalidAddr, 0,
               D.LastCommitVersion);
@@ -171,7 +216,10 @@ void StmRuntime::schedulerAcquire(ThreadCtx &Ctx) {
   Ctx.setPhase(simt::Phase::TxInit);
   simt::MemClassScope San(Ctx, simt::MemClass::Meta);
   Word Ticket = Ctx.atomicAdd(SchedTicketAddr, 1);
-  Word Cap = Dev.memory().load(SchedCapAddr); // controller word
+  // Controller word, read host-side (no device op).  hostLoadWord logs the
+  // read under speculation, so an adaptive cap change between snapshot and
+  // commit point invalidates and replays the round.
+  Word Cap = Dev.hostLoadWord(SchedCapAddr);
   if (Ticket >= Cap) {
     Word Target = Ticket - Cap + 1;
     for (;;) {
@@ -206,7 +254,7 @@ void StmRuntime::schedulerAdjust() {
   if (SchedPrevThroughput >= 0.0 && Throughput < SchedPrevThroughput)
     SchedGrowing = !SchedGrowing;
   SchedPrevThroughput = Throughput;
-  Word Cap = Dev.memory().load(SchedCapAddr);
+  Word Cap = Dev.hostLoadWord(SchedCapAddr);
   if (SchedGrowing)
     Cap = Cap * 2 <= SchedMaxCap ? Cap * 2 : static_cast<Word>(SchedMaxCap);
   else
@@ -270,17 +318,29 @@ void StmRuntime::transaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
     if (simt::SanHooks *San = Dev.sanHooks())
       San->onTxEnd(Ctx.globalThreadId(), Committed, Dev.now());
 #endif
+    // The adaptive controllers (locking prober, scheduler hill-climber)
+    // mutate runtime-wide host state, so their windows are maintained only
+    // when the respective controller is on, behind a serial point that
+    // orders the mutation with the round commit order under speculation.
     if (Committed) {
-      ++Counters.Commits;
-      ++SchedWindowCommits;
+      ++D.Stats.Commits;
+      if (Scheduled && Config.SchedulerAdaptive) {
+        Ctx.hostSerialPoint();
+        ++SchedWindowCommits;
+      }
       if (GPUSTM_UNLIKELY(tracing()))
         emitEvent(Ctx, TxEventKind::Commit, AbortCause::None, simt::InvalidAddr,
                   D.WriteCount, D.WriteCount ? D.LastCommitVersion : 0);
-      if (Config.AdaptiveLocking)
+      if (Config.AdaptiveLocking) {
+        Ctx.hostSerialPoint();
         lockingController();
+      }
     } else {
-      ++Counters.Aborts;
-      ++SchedWindowAborts;
+      ++D.Stats.Aborts;
+      if (Scheduled && Config.SchedulerAdaptive) {
+        Ctx.hostSerialPoint();
+        ++SchedWindowAborts;
+      }
       if (GPUSTM_UNLIKELY(tracing()))
         emitEvent(Ctx, TxEventKind::Abort,
                   D.LastAbort == AbortCause::None ? AbortCause::Explicit
@@ -289,8 +349,10 @@ void StmRuntime::transaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
     }
     if (Scheduled) {
       schedulerRelease(Ctx);
-      if (Config.SchedulerAdaptive)
+      if (Config.SchedulerAdaptive) {
+        Ctx.hostSerialPoint();
         schedulerAdjust();
+      }
     }
     if (Committed)
       break;
@@ -298,17 +360,18 @@ void StmRuntime::transaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
 }
 
 StatsSet StmRuntime::statsSet() const {
+  StmCounters C = counters();
   StatsSet S;
-  S.set("stm.commits", Counters.Commits);
-  S.set("stm.read_only_commits", Counters.ReadOnlyCommits);
-  S.set("stm.aborts", Counters.Aborts);
-  S.set("stm.aborts.read_validation", Counters.AbortsReadValidation);
-  S.set("stm.aborts.commit_validation", Counters.AbortsCommitValidation);
-  S.set("stm.lock_failures", Counters.LockFailures);
-  S.set("stm.stale_snapshots", Counters.StaleSnapshots);
-  S.set("stm.false_conflicts_avoided", Counters.FalseConflictsAvoided);
-  S.set("stm.vbv_runs", Counters.VbvRuns);
-  S.set("stm.tx_reads", Counters.TxReads);
-  S.set("stm.tx_writes", Counters.TxWrites);
+  S.set("stm.commits", C.Commits);
+  S.set("stm.read_only_commits", C.ReadOnlyCommits);
+  S.set("stm.aborts", C.Aborts);
+  S.set("stm.aborts.read_validation", C.AbortsReadValidation);
+  S.set("stm.aborts.commit_validation", C.AbortsCommitValidation);
+  S.set("stm.lock_failures", C.LockFailures);
+  S.set("stm.stale_snapshots", C.StaleSnapshots);
+  S.set("stm.false_conflicts_avoided", C.FalseConflictsAvoided);
+  S.set("stm.vbv_runs", C.VbvRuns);
+  S.set("stm.tx_reads", C.TxReads);
+  S.set("stm.tx_writes", C.TxWrites);
   return S;
 }

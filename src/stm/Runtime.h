@@ -49,6 +49,24 @@ class Tx;
 /// Per-thread transaction descriptor ("registers" of the running
 /// transaction: snapshot, flags, set sizes, bloom filter, lock-log bucket
 /// counters).  The logs themselves live in simulated global memory.
+/// Host-side aggregate counters for one or more launches.  Each TxDesc
+/// stages its own copy so transaction paths touch only per-lane state (kept
+/// speculation-safe by the device's lane-state checkpoint); counters()
+/// folds the stages into the runtime-wide base deterministically.
+struct StmCounters {
+  uint64_t Commits = 0;
+  uint64_t ReadOnlyCommits = 0;
+  uint64_t Aborts = 0;
+  uint64_t AbortsReadValidation = 0;
+  uint64_t AbortsCommitValidation = 0;
+  uint64_t LockFailures = 0;
+  uint64_t StaleSnapshots = 0;         ///< TBV check found version > snapshot.
+  uint64_t FalseConflictsAvoided = 0;  ///< ... but VBV then passed (HV wins).
+  uint64_t VbvRuns = 0;
+  uint64_t TxReads = 0;
+  uint64_t TxWrites = 0;
+};
+
 struct TxDesc {
   Word Snapshot = 0;
   bool Valid = true;   ///< The paper's isOpaque flag.
@@ -69,21 +87,8 @@ struct TxDesc {
   /// the adaptive-locking extension may move the global policy between
   /// attempts).
   CommitLocking TxLocking = CommitLocking::Sorted;
-};
-
-/// Host-side aggregate counters for one or more launches.
-struct StmCounters {
-  uint64_t Commits = 0;
-  uint64_t ReadOnlyCommits = 0;
-  uint64_t Aborts = 0;
-  uint64_t AbortsReadValidation = 0;
-  uint64_t AbortsCommitValidation = 0;
-  uint64_t LockFailures = 0;
-  uint64_t StaleSnapshots = 0;         ///< TBV check found version > snapshot.
-  uint64_t FalseConflictsAvoided = 0;  ///< ... but VBV then passed (HV wins).
-  uint64_t VbvRuns = 0;
-  uint64_t TxReads = 0;
-  uint64_t TxWrites = 0;
+  /// This thread's staged counter contributions (see StmCounters).
+  StmCounters Stats;
 };
 
 /// The GPU-STM runtime (see file comment).
@@ -93,6 +98,9 @@ public:
   /// \p MaxLaunch on \p Dev.
   StmRuntime(simt::Device &Dev, const StmConfig &Config,
              const simt::LaunchConfig &MaxLaunch);
+  ~StmRuntime();
+  StmRuntime(const StmRuntime &) = delete;
+  StmRuntime &operator=(const StmRuntime &) = delete;
 
   /// Run \p Body as one transaction, retrying until it commits.  For CGL
   /// the body runs under the single global lock with direct memory access.
@@ -108,9 +116,11 @@ public:
   /// Address of the version-lock word for lock index \p Idx.
   simt::Addr lockWordAddr(Word Idx) const { return LockTabBase + Idx; }
 
-  /// Counters accumulated since the last resetCounters().
-  const StmCounters &counters() const { return Counters; }
-  void resetCounters() { Counters = StmCounters(); }
+  /// Counters accumulated since the last resetCounters(): the runtime-wide
+  /// base plus every descriptor's staged contribution, folded in thread-id
+  /// order (deterministic regardless of execution mode).
+  StmCounters counters() const;
+  void resetCounters();
   /// Counters exported as a named StatsSet.
   StatsSet statsSet() const;
 
@@ -124,7 +134,7 @@ public:
 
   /// Current concurrency cap of the transaction scheduler (meaningful only
   /// with EnableScheduler).
-  Word schedulerCap() const { return Dev.memory().load(SchedCapAddr); }
+  Word schedulerCap() const { return Dev.hostLoadWord(SchedCapAddr); }
 
   /// Commit-locking policy currently in force (moves only under
   /// AdaptiveLocking).
@@ -132,8 +142,14 @@ public:
 
   /// Install (or clear, with nullptr) a transaction-event sink.  Emission
   /// is host-side only: no simulated device operation is issued for it, so
-  /// modeled cycles and counters are unchanged by tracing.
-  void setEventSink(TxEventSink *S) { Sink = S; }
+  /// modeled cycles and counters are unchanged by tracing.  A sink observes
+  /// rounds in serial order, so attaching one pins the device to serial
+  /// execution (GPUSTM_DEVICE_JOBS is forced to 1 with a warning).
+  void setEventSink(TxEventSink *S) {
+    Sink = S;
+    if (S != nullptr)
+      Dev.requireSerialExecution();
+  }
   /// True when a sink is installed (the emit points' cold-path guard).
   bool tracing() const { return Sink != nullptr; }
 
@@ -179,11 +195,8 @@ private:
   simt::Addr TokenBase = simt::InvalidAddr;   ///< Per-warp backoff tokens.
 
   std::vector<TxDesc> Descs;
-  StmCounters Counters;
+  StmCounters Counters; ///< Base for counters(); descriptors stage the rest.
   TxEventSink *Sink = nullptr;
-  /// Host-side serial number for CGL critical sections (they are totally
-  /// ordered by the single lock).
-  uint64_t CglSerial = 0;
 
   // Adaptive-locking state (host side): epsilon-greedy over decayed
   // per-policy throughput estimates, re-probing the loser periodically so

@@ -34,6 +34,10 @@ void Tx::begin() {
   Desc.WriteCount = 0;
   Desc.LastAbort = AbortCause::None;
   Desc.WriteBloom.clear();
+  // The commit-locking policy is host state the adaptive controller moves
+  // at serial points; sampling it must itself be serially ordered.
+  if (Rt.Config.AdaptiveLocking)
+    Ctx.hostSerialPoint();
   Desc.TxLocking = Rt.CurrentLocking;
   if (Rt.Config.AdaptiveLocking)
     Desc.Locks.setMode(Desc.TxLocking == CommitLocking::Sorted
@@ -68,7 +72,7 @@ Word Tx::read(Addr A) {
   }
   MemClassScope San(Ctx, MemClass::Meta);
   assert(Desc.Valid && "reading in an aborted transaction");
-  ++Rt.Counters.TxReads;
+  ++Desc.Stats.TxReads;
 
   // Line 22: return the speculative value if we wrote this address.
   if (Desc.WriteBloom.mayContain(A)) {
@@ -115,7 +119,7 @@ Word Tx::read(Addr A) {
       if (!Pass) {
         Desc.Valid = false;
         Desc.LastAbort = AbortCause::ReadValidationFail;
-        ++Rt.Counters.AbortsReadValidation;
+        ++Desc.Stats.AbortsReadValidation;
       }
       if (GPUSTM_UNLIKELY(Rt.tracing()))
         Rt.emitEvent(Ctx, TxEventKind::ReadValidation, AbortCause::None, A, S,
@@ -139,22 +143,22 @@ Word Tx::read(Addr A) {
 
   Word Version = lockVersion(VL); // line 30
   if (Version > Desc.Snapshot) {  // line 31
-    ++Rt.Counters.StaleSnapshots;
+    ++Desc.Stats.StaleSnapshots;
     if (Rt.Val == Validation::HV) {
       if (!postValidation(Version)) { // line 32
         Desc.Valid = false;           // line 33
         Desc.LastAbort = AbortCause::ReadValidationFail;
-        ++Rt.Counters.AbortsReadValidation;
+        ++Desc.Stats.AbortsReadValidation;
       } else {
         // The timestamp said "conflict" but the values say otherwise: a
         // false conflict avoided -- the benefit of hierarchical validation.
-        ++Rt.Counters.FalseConflictsAvoided;
+        ++Desc.Stats.FalseConflictsAvoided;
       }
     } else {
       // Pure TBV (TL2-style): a stale snapshot is fatal.
       Desc.Valid = false;
       Desc.LastAbort = AbortCause::ReadStaleSnapshot;
-      ++Rt.Counters.AbortsReadValidation;
+      ++Desc.Stats.AbortsReadValidation;
     }
     if (GPUSTM_UNLIKELY(Rt.tracing()))
       Rt.emitEvent(Ctx, TxEventKind::ReadValidation, AbortCause::None, A,
@@ -182,7 +186,7 @@ void Tx::write(Addr A, Word V) {
   }
   MemClassScope San(Ctx, MemClass::Meta);
   assert(Desc.Valid && "writing in an aborted transaction");
-  ++Rt.Counters.TxWrites;
+  ++Desc.Stats.TxWrites;
   if (GPUSTM_UNLIKELY(Rt.tracing()))
     Rt.emitEvent(Ctx, TxEventKind::Write, AbortCause::None, A, V, 0);
   Ctx.setPhase(Phase::Buffering);
@@ -254,7 +258,7 @@ bool Tx::postValidation(Word Version) {
 
 bool Tx::vbv() {
   MemClassScope San(Ctx, MemClass::Meta);
-  ++Rt.Counters.VbvRuns;
+  ++Desc.Stats.VbvRuns;
   for (unsigned I = 0; I < Desc.ReadCount; ++I) { // lines 62-66
     if (I + 1 < Desc.ReadCount) { // Host prefetch hints (free, no yield).
       Ctx.prefetchMem(readAddrSlot(I + 1));
@@ -297,7 +301,7 @@ bool Tx::getLocksAndTBV(Word *FailedLock) {
       });
   if (Failed) {
     releaseLocks(Acquired); // line 47
-    ++Rt.Counters.LockFailures;
+    ++Desc.Stats.LockFailures;
     if (GPUSTM_UNLIKELY(Rt.tracing()))
       Rt.emitEvent(Ctx, TxEventKind::LockFail, AbortCause::None, FailedIdx, 0,
                    Acquired);
@@ -342,7 +346,7 @@ bool Tx::validateAndWriteBack() {
       Ctx.setPhase(Phase::Locking);
       releaseLocks(Desc.Locks.size()); // line 77
       Desc.LastAbort = AbortCause::CommitValidationFail;
-      ++Rt.Counters.AbortsCommitValidation;
+      ++Desc.Stats.AbortsCommitValidation;
       return false; // line 78
     }
   }
@@ -376,7 +380,7 @@ bool Tx::commitSorted() {
       Ctx.setPhase(Phase::Commit);
       if (!vbv()) { // lines 71-72 (optional, reduces lock contention)
         Desc.LastAbort = AbortCause::CommitValidationFail;
-        ++Rt.Counters.AbortsCommitValidation;
+        ++Desc.Stats.AbortsCommitValidation;
         return false;
       }
     }
@@ -404,7 +408,7 @@ bool Tx::commitBackoff() {
     Ctx.setPhase(Phase::Commit);
     if (!vbv()) { // Same optional line-71 filter commitSorted applies.
       Desc.LastAbort = AbortCause::CommitValidationFail;
-      ++Rt.Counters.AbortsCommitValidation;
+      ++Desc.Stats.AbortsCommitValidation;
       return false;
     }
   }
@@ -436,7 +440,7 @@ bool Tx::commitBackoff() {
 
 bool Tx::norecPostValidate() {
   MemClassScope San(Ctx, MemClass::Meta);
-  ++Rt.Counters.VbvRuns;
+  ++Desc.Stats.VbvRuns;
   for (;;) {
     Word T = Ctx.load(Rt.SeqLockAddr);
     if (T & 1) {
@@ -481,14 +485,14 @@ bool Tx::norecCommit() {
   // transaction committed, so revalidate by value (NOrec).
   while (Ctx.atomicCAS(Rt.SeqLockAddr, Desc.Snapshot, Desc.Snapshot + 1) !=
          Desc.Snapshot) {
-    ++Rt.Counters.LockFailures;
+    ++Desc.Stats.LockFailures;
     if (GPUSTM_UNLIKELY(Rt.tracing()))
       Rt.emitEvent(Ctx, TxEventKind::LockFail, AbortCause::None,
                    simt::InvalidAddr, 0, 0);
     Ctx.setPhase(Phase::Consistency);
     if (!norecPostValidate()) {
       Desc.LastAbort = AbortCause::CommitValidationFail;
-      ++Rt.Counters.AbortsCommitValidation;
+      ++Desc.Stats.AbortsCommitValidation;
       return false;
     }
     Ctx.setPhase(Phase::Locking);
@@ -523,7 +527,7 @@ bool Tx::commit() {
   assert(Desc.Valid && "committing an aborted transaction");
   // Line 68: a read-only transaction linearizes at its last read.
   if (Desc.WriteCount == 0) {
-    ++Rt.Counters.ReadOnlyCommits;
+    ++Desc.Stats.ReadOnlyCommits;
     Ctx.setPhase(Phase::Native);
     return true;
   }

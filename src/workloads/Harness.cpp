@@ -203,6 +203,7 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
 
     Result.KernelCycles.push_back(R.ElapsedCycles);
     Result.TotalCycles += R.ElapsedCycles;
+    Result.HostReplays += R.Replays;
     Result.Sim.merge(R.Stats);
     Result.KernelSim.push_back(R.Stats);
     if (!R.Completed) {

@@ -90,6 +90,10 @@ struct HarnessResult {
   uint64_t WallNanos = 0;
   /// Unique simtsan findings over the run (0 when no detector attached).
   uint64_t SanReports = 0;
+  /// Speculative warp rounds discarded and re-executed over all kernels
+  /// (0 in serial mode).  A host-throughput diagnostic like WallNanos:
+  /// timing-dependent, so it is excluded from the deterministic StatsSet.
+  uint64_t HostReplays = 0;
 
   /// Abort rate: aborts / (commits + aborts).
   double abortRate() const {
@@ -108,6 +112,14 @@ struct HarnessResult {
     return WallNanos == 0 ? 0.0
                           : static_cast<double>(Rounds) * 1e9 /
                                 static_cast<double>(WallNanos);
+  }
+  /// Fraction of executed warp rounds that were speculative replays
+  /// (host-throughput diagnostic; 0 in serial mode).
+  double replayRate() const {
+    uint64_t Rounds = Sim.get("simt.rounds");
+    return Rounds == 0 ? 0.0
+                       : static_cast<double>(HostReplays) /
+                             static_cast<double>(Rounds);
   }
   /// Average lane fiber switches per warp round (engine work factor).
   double switchesPerRound() const {

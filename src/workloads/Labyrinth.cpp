@@ -58,20 +58,30 @@ void Labyrinth::setup(simt::Device &Dev) {
     N.Dy = static_cast<unsigned>(Rand.nextBelow(P.GridN));
     Nets.push_back(N);
   }
+
+  // Precompute the claim lists host-side: runTask runs on lane fibers,
+  // which must stay allocation-free.  Claim order does not matter
+  // semantically; ascending address order turns lock-log insertion into
+  // appends.
+  for (int Bend = 0; Bend < 2; ++Bend) {
+    SortedPaths[Bend].clear();
+    SortedPaths[Bend].reserve(P.NumRoutes);
+    for (const Net &N : Nets) {
+      std::vector<unsigned> Cells = pathCells(N, Bend == 0);
+      std::sort(Cells.begin(), Cells.end());
+      SortedPaths[Bend].push_back(std::move(Cells));
+    }
+  }
 }
 
 void Labyrinth::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
                         unsigned Task) {
   (void)K;
-  const Net &N = Nets[Task];
   Word NetId = static_cast<Word>(Task) + 1;
 
   for (int Bend = 0; Bend < 2; ++Bend) {
     bool XFirst = Bend == 0;
-    std::vector<unsigned> Cells = pathCells(N, XFirst);
-    // Claim order does not matter semantically; visiting cells in
-    // ascending address order turns lock-log insertion into appends.
-    std::sort(Cells.begin(), Cells.end());
+    const std::vector<unsigned> &Cells = SortedPaths[Bend][Task];
     bool Claimed = false;
     Stm.transaction(Ctx, [&](stm::Tx &T) {
       Claimed = false;

@@ -19,6 +19,8 @@ function(read_stripped INFILE OUTVAR)
   string(REGEX REPLACE ",\"wall_ms\":[^,}]+" "" J "${J}")
   string(REGEX REPLACE ",\"rounds_per_sec\":[^,}]+" "" J "${J}")
   string(REGEX REPLACE ",\"switches_per_round\":[^,}]+" "" J "${J}")
+  string(REGEX REPLACE ",\"replays\":[^,}]+" "" J "${J}")
+  string(REGEX REPLACE ",\"replay_rate\":[^,}]+" "" J "${J}")
   set(${OUTVAR} "${J}" PARENT_SCOPE)
 endfunction()
 
