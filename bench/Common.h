@@ -15,6 +15,7 @@
 #define GPUSTM_BENCH_COMMON_H
 
 #include "support/EnvOptions.h"
+#include "support/Error.h"
 #include "support/Format.h"
 #include "support/Parallel.h"
 #include "workloads/All.h"
@@ -29,9 +30,13 @@
 namespace gpustm {
 namespace bench {
 
-/// Scale factor from the environment (default 1).
+/// Scale factor from the environment (default 1).  GPUSTM_SCALE feeds
+/// array sizing and thread counts everywhere, so zero, garbage, and
+/// overflowing values are fatal instead of silently producing an empty or
+/// absurd matrix (the cap is far beyond paper scale).
 inline unsigned benchScale() {
-  return static_cast<unsigned>(envUnsigned("GPUSTM_SCALE", 1));
+  return static_cast<unsigned>(
+      envUnsignedInRange("GPUSTM_SCALE", 1, 1, 1u << 20));
 }
 
 /// Banner naming the experiment and the paper artifact it regenerates.
@@ -76,6 +81,24 @@ filterWorkloads(std::vector<std::string> Names) {
     if (Comma > Pos)
       Wanted.push_back(Filter.substr(Pos, Comma - Pos));
     Pos = Comma + 1;
+  }
+  // A typo in the filter must not silently run an empty matrix that
+  // "passes": unknown names are fatal, listing what is valid here.
+  for (const std::string &W : Wanted) {
+    bool Known = false;
+    for (const std::string &N : Names)
+      if (N == W) {
+        Known = true;
+        break;
+      }
+    if (!Known) {
+      std::string Valid;
+      for (const std::string &N : Names)
+        Valid += (Valid.empty() ? "" : ", ") + N;
+      reportFatalError(formatString(
+          "GPUSTM_BENCH_WORKLOADS: unknown workload '%s'; valid names: %s",
+          W.c_str(), Valid.c_str()));
+    }
   }
   std::vector<std::string> Out;
   for (const std::string &N : Names)

@@ -1,0 +1,106 @@
+//===- fuzz/Fuzzer.h - Differential STM fuzzing -----------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-driven differential fuzzing of the STM variants (tools/stmfuzz;
+/// DESIGN.md section 10).  Every seed expands to one FuzzProgram, which
+/// runs under each variant and is checked three ways: the sequential
+/// reference oracle (FuzzWorkload::verify), agreement of all variants on
+/// oracle-equivalence (differential), and -- for sampled seeds -- the
+/// offline trace checker's opacity/serializability pass, whose traced
+/// serial run must also be bit-identical to the untraced run.  Failures
+/// shrink greedily to a minimal program and print as a standalone
+/// regression test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_FUZZ_FUZZER_H
+#define GPUSTM_FUZZ_FUZZER_H
+
+#include "fuzz/FuzzProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace fuzz {
+
+/// What to run and check for each seed.
+struct FuzzOptions {
+  /// Variants under test; empty means all seven.
+  std::vector<stm::Variant> Variants;
+  /// Trace-check seeds whose Seed %% TraceSamplePeriod == 0 (0 = never).
+  /// The traced run (which the recorder forces serial) must also be
+  /// bit-identical to the untraced run.
+  unsigned TraceSamplePeriod = 8;
+  /// Simulator watchdog: a clean program finishes orders of magnitude
+  /// below this; tripping it means livelock (or a leaked lock's spin).
+  uint64_t WatchdogRounds = 1ull << 22;
+  /// Host threads per launch (0 = GPUSTM_DEVICE_JOBS, 1 = serial).
+  unsigned DeviceJobs = 0;
+  /// Re-run each variant identically and demand a bit-identical digest.
+  bool CheckDeterminism = false;
+  /// Also run serial (jobs=1) and speculative (jobs=4) and demand
+  /// bit-identical digests.
+  bool CheckJobsInvariance = false;
+  /// Protocol mutations injected into every run (mutation tests only).
+  stm::StmFaults Faults;
+  /// Lock-sorting ablation (mutation tests only; expect a watchdog trip).
+  bool DisableSorting = false;
+};
+
+/// Outcome of one variant on one program.
+struct VariantOutcome {
+  stm::Variant Kind = stm::Variant::HVSorting;
+  bool Passed = false;
+  /// Which check failed: "completion", "oracle", "determinism",
+  /// "jobs-invariance", "trace-identity", "trace".  Empty when passed.
+  std::string Check;
+  std::string Detail;
+  /// Digest of final images + counters + modeled cycles.
+  uint64_t Digest = 0;
+};
+
+/// Outcome of one seed across all requested variants.
+struct SeedResult {
+  uint64_t Seed = 0;
+  bool Passed = false;
+  std::vector<VariantOutcome> Outcomes;
+
+  /// Digest folding every variant's digest (for cross-process diffing,
+  /// e.g. GPUSTM_DEVICE_JOBS=1 vs =4 in CI).
+  uint64_t combinedDigest() const;
+  /// One line per failing variant; empty string when passed.
+  std::string failureSummary() const;
+};
+
+/// Run the program under every requested variant with every check.
+SeedResult runProgram(const FuzzProgram &P, const FuzzOptions &O);
+
+/// generateProgram + runProgram.
+SeedResult runSeed(uint64_t Seed, const FuzzOptions &O);
+
+/// Greedy shrink: repeatedly drop transactions, operations, and config
+/// complexity while runProgram still fails, spending at most \p MaxEvals
+/// re-runs.  Returns the smallest failing program found (the input itself
+/// if nothing smaller fails).  Narrow \p O to the failing variant first:
+/// shrinking re-runs the whole option set every step.
+FuzzProgram shrinkProgram(const FuzzProgram &P, const FuzzOptions &O,
+                          unsigned MaxEvals = 300);
+
+/// Standalone regression-test source for a failing seed (the `repro`
+/// subcommand; checked in under tests/fuzz/ when a fuzzer-found bug is
+/// fixed).
+std::string reproTestSource(uint64_t Seed, const FuzzOptions &O,
+                            const SeedResult &R);
+
+/// The seven variants, in the paper's order.
+const std::vector<stm::Variant> &allVariants();
+
+} // namespace fuzz
+} // namespace gpustm
+
+#endif // GPUSTM_FUZZ_FUZZER_H

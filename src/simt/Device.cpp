@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "simt/Device.h"
+#include "support/EnvOptions.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/MathExtras.h"
 #include "support/Parallel.h"
+#include "support/Random.h"
 
 #include <algorithm>
 #include <bit>
@@ -34,6 +36,19 @@ Device::Device(const DeviceConfig &Config)
     reportFatalError("warp size must be in [1, 64]");
   if (Config.NumSMs < 1)
     reportFatalError("device needs at least one SM");
+  SchedSeed = Config.SchedFuzzSeed != 0 ? Config.SchedFuzzSeed
+                                        : envUnsigned("GPUSTM_SCHED_FUZZ", 0);
+}
+
+/// Stateless mix of the schedule-fuzz seed with deterministic scheduler
+/// state.  Every input is part of the simulated machine state (never host
+/// timing or execution-order bookkeeping), so a fuzzed schedule is a pure
+/// function of the seed and stays bit-identical under GPUSTM_DEVICE_JOBS
+/// speculation, which reproduces exactly this state at commit points.
+static uint64_t schedMix(uint64_t Seed, uint64_t A, uint64_t B) {
+  uint64_t S = Seed ^ (A * 0x9e3779b97f4a7c15ULL) ^
+               (B * 0xbf58476d1ce4e5b9ULL);
+  return splitMix64(S);
 }
 
 Device::~Device() = default;
@@ -161,7 +176,69 @@ bool Device::retireFinishedBlocks(SmState &Sm) {
   return Removed;
 }
 
+void Device::recomputeCandidateFuzzed(SmState &Sm) {
+  // Schedule fuzz: the candidate is drawn from the same set the normal
+  // policy considers -- the ready-now warps, or (when none) the warps tied
+  // at the minimal ReadyAt -- but the pick within the set is a seeded hash
+  // of deterministic SM state.  Any member is a schedule the real RR policy
+  // could produce from some prior history, so this explores interleavings
+  // without inventing impossible ones.
+  Sm.CandWarp = nullptr;
+  size_t N = Sm.WarpList.size();
+  if (N == 0)
+    return;
+  unsigned SmIdx = static_cast<unsigned>(&Sm - Sms.data());
+  unsigned ReadyNow = 0, Ties = 0;
+  uint64_t BestReady = ~uint64_t(0);
+  for (Warp *W : Sm.WarpList) {
+    if (!W->hasRunnableLane())
+      continue;
+    if (W->ReadyAt <= Sm.Clock) {
+      ++ReadyNow;
+    } else if (W->ReadyAt < BestReady) {
+      BestReady = W->ReadyAt;
+      Ties = 1;
+    } else if (W->ReadyAt == BestReady) {
+      ++Ties;
+    }
+  }
+  uint64_t Issue;
+  unsigned Count;
+  bool WantReadyNow = ReadyNow > 0;
+  if (WantReadyNow) {
+    Issue = Sm.Clock;
+    Count = ReadyNow;
+  } else if (Ties > 0) {
+    Issue = BestReady;
+    Count = Ties;
+  } else {
+    return; // No runnable warp.
+  }
+  unsigned Pick = static_cast<unsigned>(
+      schedMix(SchedSeed, Issue + SmIdx * 0x94d049bb133111ebULL, Count) %
+      Count);
+  for (size_t Idx = 0; Idx < N; ++Idx) {
+    Warp *W = Sm.WarpList[Idx];
+    if (!W->hasRunnableLane())
+      continue;
+    bool InSet = WantReadyNow ? W->ReadyAt <= Sm.Clock : W->ReadyAt == Issue;
+    if (!InSet)
+      continue;
+    if (Pick == 0) {
+      Sm.CandWarp = W;
+      Sm.CandIssue = Issue;
+      Sm.CandIdx = static_cast<unsigned>(Idx);
+      break;
+    }
+    --Pick;
+  }
+  if (Sm.CandWarp)
+    Sm.CandWarp->prefetchFirstRunnable();
+}
+
 void Device::recomputeCandidate(SmState &Sm) {
+  if (GPUSTM_UNLIKELY(SchedSeed != 0))
+    return recomputeCandidateFuzzed(Sm);
   // Round-robin scan from RoundRobin, wrapping once: two plain segments
   // instead of a modulo per step.  The first ready-now warp in RR order
   // wins; otherwise the warp with the earliest ReadyAt does.  Either way
@@ -203,6 +280,48 @@ void Device::recomputeCandidate(SmState &Sm) {
   // first lane's switch frame into the host cache now (hint only).
   if (Sm.CandWarp)
     Sm.CandWarp->prefetchFirstRunnable();
+}
+
+Device::SmState *Device::pickIssueSm() {
+  // The serial scheduler's pick: the SM whose cached candidate issues
+  // earliest (ties to the lower SM index by iteration order).
+  if (GPUSTM_LIKELY(SchedSeed == 0)) {
+    SmState *BestSm = nullptr;
+    for (SmState &Sm : Sms) {
+      if (!Sm.CandWarp)
+        continue;
+      if (!BestSm || Sm.CandIssue < BestSm->CandIssue)
+        BestSm = &Sm;
+    }
+    return BestSm;
+  }
+  // Schedule fuzz: a seeded hash picks among the SMs tied at the minimal
+  // issue cycle (the modeled machine runs them concurrently anyway, so any
+  // order within the tie is a legal schedule).
+  uint64_t BestIssue = ~uint64_t(0);
+  unsigned Ties = 0;
+  for (SmState &Sm : Sms) {
+    if (!Sm.CandWarp)
+      continue;
+    if (Sm.CandIssue < BestIssue) {
+      BestIssue = Sm.CandIssue;
+      Ties = 1;
+    } else if (Sm.CandIssue == BestIssue) {
+      ++Ties;
+    }
+  }
+  if (Ties == 0)
+    return nullptr;
+  unsigned Pick =
+      static_cast<unsigned>(schedMix(SchedSeed, BestIssue, Ties) % Ties);
+  for (SmState &Sm : Sms) {
+    if (!Sm.CandWarp || Sm.CandIssue != BestIssue)
+      continue;
+    if (Pick == 0)
+      return &Sm;
+    --Pick;
+  }
+  return nullptr;
 }
 
 void Device::notifyWriteSlow(Addr A) {
@@ -607,15 +726,7 @@ void Device::runParallelLoop(LaunchResult &Result, unsigned Jobs) {
   for (;;) {
     queueSpecs();
 
-    // The serial scheduler's pick: the SM whose cached candidate issues
-    // earliest (ties to the lower SM index by iteration order).
-    SmState *BestSm = nullptr;
-    for (SmState &Sm : Sms) {
-      if (!Sm.CandWarp)
-        continue;
-      if (!BestSm || Sm.CandIssue < BestSm->CandIssue)
-        BestSm = &Sm;
-    }
+    SmState *BestSm = pickIssueSm();
     if (!BestSm) {
       drainAllSpecs(); // No candidates implies no specs; defensive.
       if (LiveBlocks == 0 && NextPendingBlock == CurrentLaunch.GridDim) {
@@ -753,13 +864,7 @@ void Device::runSerialLoop(LaunchResult &Result) {
     // Pick the SM whose cached candidate issues earliest.  CandIssue is
     // already max(Clock, ReadyAt) of the candidate (recomputeCandidate runs
     // after every event that can change either), so no re-derivation here.
-    SmState *BestSm = nullptr;
-    for (SmState &Sm : Sms) {
-      if (!Sm.CandWarp)
-        continue;
-      if (!BestSm || Sm.CandIssue < BestSm->CandIssue)
-        BestSm = &Sm;
-    }
+    SmState *BestSm = pickIssueSm();
     if (!BestSm) {
       if (LiveBlocks == 0 && NextPendingBlock == CurrentLaunch.GridDim) {
         Result.Completed = true;

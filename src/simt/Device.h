@@ -64,6 +64,13 @@ struct DeviceConfig {
   /// (results stay bit-identical to the serial schedule; see DESIGN.md
   /// section 9).  0 = read GPUSTM_DEVICE_JOBS; 1 = the serial round loop.
   unsigned DeviceJobs = 0;
+  /// Schedule perturbation for fuzzing (DESIGN.md section 10): a nonzero
+  /// seed replaces the scheduler's deterministic tie-breaking (first
+  /// ready-now warp in round-robin order; lowest SM index across SMs) with
+  /// a seeded hash of the tie set, so each seed explores a different -- but
+  /// still fully deterministic and replayable -- interleaving.  0 = read
+  /// GPUSTM_SCHED_FUZZ (whose own default, 0/unset, disables the mode).
+  uint64_t SchedFuzzSeed = 0;
   /// Cycle cost model.
   TimingConfig Timing;
 };
@@ -277,6 +284,14 @@ private:
   bool retireFinishedBlocks(SmState &Sm);
   /// Recompute the cached issue candidate for \p Sm.
   void recomputeCandidate(SmState &Sm);
+  /// Schedule-fuzz variant (SchedSeed != 0): the candidate is drawn from
+  /// the ready-now set (or the min-ReadyAt tie set) by a seeded hash of
+  /// deterministic SM state, not round-robin order.
+  void recomputeCandidateFuzzed(SmState &Sm);
+  /// The launch loops' cross-SM pick: the SM whose cached candidate issues
+  /// earliest.  Ties go to the lowest SM index -- or, under schedule fuzz,
+  /// to a seeded hash of the tie set.  Null when no SM has a candidate.
+  SmState *pickIssueSm();
   /// Fold a lane's attribution counters into the launch totals.
   void rollupLane(const Lane &L);
   /// Called by Warp when a lane arrives at the block barrier / finishes.
@@ -363,6 +378,8 @@ private:
   std::atomic<bool> SpecQuit{false};
   uint64_t Replays = 0;
   bool SerialObserver = false;
+  /// Resolved schedule-fuzz seed (0 = off; see DeviceConfig::SchedFuzzSeed).
+  uint64_t SchedSeed = 0;
   LaneStateHook LaneHook;
   SimCounters Counters;
   uint64_t PhaseTotals[NumPhases] = {};

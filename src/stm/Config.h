@@ -15,9 +15,46 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace gpustm {
 namespace stm {
+
+/// Protocol fault injection for the fuzzer's mutation tests (tools/stmfuzz;
+/// DESIGN.md section 10).  Each switch disables one load-bearing step of
+/// Algorithm 3 so tests can prove the fuzzer detects the resulting
+/// serializability/opacity/progress violation.  All-off (the default) is
+/// the correct protocol; never enable any of these outside tests.
+struct StmFaults {
+  /// Skip the line-31 stale-snapshot abort under pure TBV validation.
+  bool IgnoreStaleSnapshot = false;
+  /// Treat a failed commit-time TBV as passed (skip the line-76 VBV
+  /// recovery filter and write back anyway).
+  bool SkipCommitVbvFilter = false;
+  /// Read through a held version lock instead of waiting (lines 27-29).
+  bool SkipLockWait = false;
+  /// Let STM-VBV begin on an odd (writer-mid-commit) sequence-lock value.
+  bool SkipOddSeqWait = false;
+  /// Do not log <addr, val> read pairs (line 25): validation goes blind.
+  bool SkipReadLogging = false;
+  /// Publish the begin snapshot instead of the new commit version when
+  /// releasing written stripes (line 59): readers miss the conflict.
+  bool PublishStaleVersion = false;
+  /// Never release read-only stripes at commit (line 61): lock leak.
+  bool LeakReadLocks = false;
+  /// Skip the write-set bloom insert: read-own-write misses the buffer.
+  bool SkipWriteBloomInsert = false;
+  /// Drop the post-begin threadfence (line 5).  Expected escape: the
+  /// simulator's memory is sequentially consistent (fences cost cycles but
+  /// have no functional effect), so no checker can observe this.
+  bool SkipBeginFence = false;
+
+  bool any() const {
+    return IgnoreStaleSnapshot || SkipCommitVbvFilter || SkipLockWait ||
+           SkipOddSeqWait || SkipReadLogging || PublishStaleVersion ||
+           LeakReadLocks || SkipWriteBloomInsert || SkipBeginFence;
+  }
+};
 
 /// Synchronization variants evaluated in the paper (Section 4.2).
 enum class Variant : uint8_t {
@@ -115,6 +152,13 @@ struct StmConfig {
   /// livelock of Section 2.2 that encounter-time lock-sorting eliminates
   /// (the run trips the simulator watchdog).  Never enable in real use.
   bool DisableSorting = false;
+
+  /// Protocol mutations for fuzzer mutation tests.  All-off in real use.
+  StmFaults Faults;
+
+  /// Human-readable run label (the workload name) used in diagnostics such
+  /// as log-overflow fatals; the harness fills it in automatically.
+  std::string DebugName;
 
   /// The validation policy this variant resolves to.  STM-Optimized picks
   /// HV only when the shared data outnumbers the version locks (Section

@@ -44,6 +44,7 @@ StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
   CglTicketAddr = Dev.hostAlloc(1);
   CglServingAddr = Dev.hostAlloc(1);
   TokenBase = Dev.hostAlloc(NumWarps);
+  EscalationAddr = Dev.hostAlloc(1);
   SchedTicketAddr = Dev.hostAlloc(1);
   SchedDoneAddr = Dev.hostAlloc(1);
   SchedCapAddr = Dev.hostAlloc(1);

@@ -193,6 +193,9 @@ private:
   simt::Addr SchedDoneAddr = simt::InvalidAddr;   ///< Finished transactions.
   simt::Addr SchedCapAddr = simt::InvalidAddr;    ///< Concurrency cap.
   simt::Addr TokenBase = simt::InvalidAddr;   ///< Per-warp backoff tokens.
+  /// Global backoff-escalation token: lanes that keep losing the stripe-lock
+  /// race serialize through it, which bounds cross-warp livelock.
+  simt::Addr EscalationAddr = simt::InvalidAddr;
 
   std::vector<TxDesc> Descs;
   StmCounters Counters; ///< Base for counters(); descriptors stage the rest.

@@ -9,6 +9,8 @@
 #include "stm/Tx.h"
 #include "stm/VersionLock.h"
 #include "support/Error.h"
+#include "support/Format.h"
+#include "support/Random.h"
 
 #include <cassert>
 
@@ -50,7 +52,7 @@ void Tx::begin() {
   if (Rt.Val == Validation::VBV) {
     // NOrec: the snapshot must be even (no writer mid-commit).
     Word S = Ctx.load(Rt.SeqLockAddr);
-    while (S & 1) {
+    while ((S & 1) && !Rt.Config.Faults.SkipOddSeqWait) {
       Ctx.memWaitBitClear(Rt.SeqLockAddr, 1);
       S = Ctx.load(Rt.SeqLockAddr);
     }
@@ -58,7 +60,8 @@ void Tx::begin() {
   } else {
     Desc.Snapshot = Ctx.load(Rt.ClockAddr); // line 4
   }
-  Ctx.threadfence(); // line 5
+  if (!Rt.Config.Faults.SkipBeginFence)
+    Ctx.threadfence(); // line 5
   Ctx.setPhase(Phase::Native);
 }
 
@@ -103,11 +106,18 @@ Word Tx::read(Addr A) {
 
   // Line 25: log the <addr, val> pair for future validation.
   Ctx.setPhase(Phase::Buffering);
-  if (Desc.ReadCount >= Desc.ReadAddrs.Cap)
-    reportFatalError("read-set overflow: raise ReadSetCap in StmConfig");
-  Ctx.store(readAddrSlot(Desc.ReadCount), A);
-  Ctx.store(readValSlot(Desc.ReadCount), Val);
-  ++Desc.ReadCount;
+  if (GPUSTM_UNLIKELY(Desc.ReadCount >= Desc.ReadAddrs.Cap)) {
+    handleLogOverflow("read", "ReadSetCap", Desc.ReadAddrs.Cap);
+    Ctx.setPhase(Phase::Native);
+    if (GPUSTM_UNLIKELY(Rt.tracing()))
+      Rt.emitEvent(Ctx, TxEventKind::Read, AbortCause::None, A, Val, 0);
+    return Val; // Doomed: the caller must consult valid().
+  }
+  if (!Rt.Config.Faults.SkipReadLogging) {
+    Ctx.store(readAddrSlot(Desc.ReadCount), A);
+    Ctx.store(readValSlot(Desc.ReadCount), Val);
+    ++Desc.ReadCount;
+  }
   Ctx.threadfence(); // line 26
 
   Ctx.setPhase(Phase::Consistency);
@@ -136,7 +146,8 @@ Word Tx::read(Addr A) {
   // so the value we then revalidate reflects the whole commit.
   Word LockIdx = Rt.lockIndexFor(A);
   Word VL = Ctx.load(Rt.lockWordAddr(LockIdx)); // line 28
-  while (lockBit(VL)) { // line 29: wait for the committing holder
+  while (lockBit(VL) && !Rt.Config.Faults.SkipLockWait) {
+    // line 29: wait for the committing holder
     Ctx.memWaitBitClear(Rt.lockWordAddr(LockIdx), 1);
     VL = Ctx.load(Rt.lockWordAddr(LockIdx));
   }
@@ -154,7 +165,7 @@ Word Tx::read(Addr A) {
         // false conflict avoided -- the benefit of hierarchical validation.
         ++Desc.Stats.FalseConflictsAvoided;
       }
-    } else {
+    } else if (!Rt.Config.Faults.IgnoreStaleSnapshot) {
       // Pure TBV (TL2-style): a stale snapshot is fatal.
       Desc.Valid = false;
       Desc.LastAbort = AbortCause::ReadStaleSnapshot;
@@ -201,12 +212,16 @@ void Tx::write(Addr A, Word V) {
       }
     }
   }
-  if (Desc.WriteCount >= Desc.WriteAddrs.Cap)
-    reportFatalError("write-set overflow: raise WriteSetCap in StmConfig");
+  if (GPUSTM_UNLIKELY(Desc.WriteCount >= Desc.WriteAddrs.Cap)) {
+    handleLogOverflow("write", "WriteSetCap", Desc.WriteAddrs.Cap);
+    Ctx.setPhase(Phase::Native);
+    return; // Doomed: the caller must consult valid().
+  }
   Ctx.store(writeAddrSlot(Desc.WriteCount), A);
   Ctx.store(writeValSlot(Desc.WriteCount), V);
   ++Desc.WriteCount;
-  Desc.WriteBloom.insert(A);
+  if (!Rt.Config.Faults.SkipWriteBloomInsert)
+    Desc.WriteBloom.insert(A);
 
   // Line 38: remember the lock (write-bit).  NOrec has no lock table.
   if (Rt.Val != Validation::VBV)
@@ -329,8 +344,11 @@ void Tx::releaseAndUpdateLocks(Word Version) {
   // stripes just drop the lock bit.
   Desc.Locks.forEach(Ctx, [&](Word Idx, bool Wr, bool) {
     if (Wr) {
-      Ctx.store(Rt.lockWordAddr(Idx), makeVersionLock(Version)); // line 59
-    } else {
+      Word Publish = Rt.Config.Faults.PublishStaleVersion
+                         ? Desc.Snapshot
+                         : Version;
+      Ctx.store(Rt.lockWordAddr(Idx), makeVersionLock(Publish)); // line 59
+    } else if (!Rt.Config.Faults.LeakReadLocks) {
       Word VL = Ctx.load(Rt.lockWordAddr(Idx));
       Ctx.store(Rt.lockWordAddr(Idx), VL - 1); // line 61
     }
@@ -339,7 +357,7 @@ void Tx::releaseAndUpdateLocks(Word Version) {
 
 bool Tx::validateAndWriteBack() {
   MemClassScope San(Ctx, MemClass::Meta);
-  if (!Desc.PassTBV) { // line 75
+  if (!Desc.PassTBV && !Rt.Config.Faults.SkipCommitVbvFilter) { // line 75
     Ctx.setPhase(Phase::Commit);
     bool Ok = Rt.Val == Validation::HV && vbv(); // line 76; TBV cannot recover
     if (!Ok) {
@@ -420,9 +438,33 @@ bool Tx::commitBackoff() {
   unsigned Attempt = 0;
   for (;;) {
     ++Attempt;
-    uint32_t Delay = (16u << (Attempt > 6 ? 6 : Attempt)) +
-                     (Ctx.warpGlobalId() * 37u) % 64u;
+    // Deterministic per-(warp, attempt) jitter scaled to the backoff
+    // window.  A fixed per-warp offset is not enough: once the window
+    // stops growing, warps whose offsets happen to coincide re-collide on
+    // every retry forever (stmfuzz seed 152: ~500 threads on a 6-word
+    // array livelocked this way).  Re-drawing the jitter each attempt
+    // breaks any such phase-lock while staying bit-exact.
+    uint32_t Window = 16u << (Attempt > 6 ? 6 : Attempt);
+    uint64_t Mix = (static_cast<uint64_t>(Ctx.warpGlobalId()) << 32) |
+                   Attempt;
+    uint32_t Delay =
+        Window + static_cast<uint32_t>(splitMix64(Mix) % Window);
     Ctx.compute(Delay);
+    // Jitter alone cannot guarantee progress: when several lanes of a warp
+    // are failing, they queue on the warp token, the delay elapses while
+    // *waiting*, and the warp emits a continuous stream of acquisition
+    // attempts with no idle window -- two such streams can collide forever
+    // (stmfuzz seed 53: 6 warps on 4 stripe locks).  Persistent losers
+    // therefore escalate to a global token, serializing across warps:
+    // once every contender has escalated (at most 8 free attempts each),
+    // the token holder runs alone and must win.  Acquisition order is
+    // global-then-warp everywhere, and the warp token is only ever held
+    // for one bounded attempt, so the two tokens cannot deadlock.
+    bool Escalated = Attempt > 8;
+    if (Escalated)
+      while (Ctx.atomicCAS(Rt.EscalationAddr, 0, Ctx.globalThreadId() + 1) !=
+             0)
+        Ctx.memWaitEquals(Rt.EscalationAddr, 0);
     // Serialize the failed lanes of this warp.
     while (Ctx.atomicCAS(Token, 0, Ctx.laneId() + 1) != 0)
       Ctx.memWaitEquals(Token, 0);
@@ -433,9 +475,37 @@ bool Tx::commitBackoff() {
       Result = validateAndWriteBack();
     Ctx.setPhase(Phase::Locking);
     Ctx.store(Token, 0);
+    if (Escalated)
+      Ctx.store(Rt.EscalationAddr, 0);
     if (Locked)
       return Result;
   }
+}
+
+void Tx::handleLogOverflow(const char *Set, const char *CapName,
+                           unsigned Cap) {
+  // A doomed attempt (reads invalidated by a concurrent commit) can chase
+  // inconsistent pointers into footprints the live program never has, so
+  // overflow alone does not prove the cap is too small.  Value-validate
+  // first: inconsistent => abort the attempt and let transaction() retry.
+  Ctx.setPhase(Phase::Consistency);
+  bool Consistent =
+      Rt.Val == Validation::VBV ? norecPostValidate() : vbv();
+  if (!Consistent) {
+    Desc.Valid = false;
+    Desc.LastAbort = AbortCause::ReadValidationFail;
+    ++Desc.Stats.AbortsReadValidation;
+    return;
+  }
+  // A consistent attempt genuinely exceeded the configured log: fatal.
+  // Serialize first so a misspeculated parallel round (which may have seen
+  // phantom values) is discarded and replayed before we kill the process.
+  Ctx.hostSerialPoint();
+  reportFatalError(formatString(
+      "GPU-STM %s-set overflow: workload '%s', global thread %u, variant "
+      "%s: transaction exceeded %s=%u entries; raise it in StmConfig",
+      Set, Rt.Config.DebugName.empty() ? "?" : Rt.Config.DebugName.c_str(),
+      Ctx.globalThreadId(), variantName(Rt.Config.Kind), CapName, Cap));
 }
 
 bool Tx::norecPostValidate() {

@@ -84,6 +84,13 @@ private:
   bool norecPostValidate();
   bool norecCommit();
 
+  /// Read/write-set overflow in \p Set (\p CapName = \p Cap).  A doomed
+  /// attempt (its read-set no longer value-validates) merely aborts and
+  /// retries -- overflow was an artifact of inconsistent reads.  A
+  /// consistent attempt genuinely needs a larger log: fatal, naming the
+  /// workload, global thread, variant, and the offending cap.
+  void handleLogOverflow(const char *Set, const char *CapName, unsigned Cap);
+
   simt::Addr readAddrSlot(unsigned I) const {
     return Desc.ReadAddrs.slot(Desc.Lane, I);
   }

@@ -5,8 +5,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/EnvOptions.h"
+#include "support/Error.h"
+#include "support/Format.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -26,6 +29,40 @@ uint64_t envUnsigned(const char *Name, uint64_t Default) {
     ++End;
   if (*End != '\0')
     return Default;
+  return Parsed;
+}
+
+uint64_t envUnsignedInRange(const char *Name, uint64_t Default, uint64_t Min,
+                            uint64_t Max) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  auto Bad = [&](const char *Why) {
+    reportFatalError(formatString(
+        "%s='%s' %s; accepted range is %llu..%llu (unset for default %llu)",
+        Name, Value, Why, static_cast<unsigned long long>(Min),
+        static_cast<unsigned long long>(Max),
+        static_cast<unsigned long long>(Default)));
+  };
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long Parsed = std::strtoull(Value, &End, 0);
+  if (End == Value)
+    Bad("is not a number");
+  while (std::isspace(static_cast<unsigned char>(*End)))
+    ++End;
+  if (*End != '\0')
+    Bad("has trailing garbage");
+  if (errno == ERANGE)
+    Bad("overflows");
+  // strtoull accepts "-1" as a huge wrapped value; reject negatives.
+  const char *P = Value;
+  while (std::isspace(static_cast<unsigned char>(*P)))
+    ++P;
+  if (*P == '-')
+    Bad("is negative");
+  if (Parsed < Min || Parsed > Max)
+    Bad("is out of range");
   return Parsed;
 }
 

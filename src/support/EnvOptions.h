@@ -24,6 +24,14 @@ namespace gpustm {
 /// GPUSTM_SCALE=8x is rejected rather than silently read as 8).
 uint64_t envUnsigned(const char *Name, uint64_t Default);
 
+/// Like envUnsigned, but values that feed array sizing must not silently
+/// degrade: a set-but-garbage value (unparsable, trailing junk, or
+/// overflowing uint64) or a parsed value outside [\p Min, \p Max] is a
+/// fatal error naming the variable, the offending value, and the accepted
+/// range.  Unset/empty still returns \p Default.
+uint64_t envUnsignedInRange(const char *Name, uint64_t Default, uint64_t Min,
+                            uint64_t Max);
+
 /// Read a boolean from the environment, or \p Default when unset or
 /// unrecognized.  Accepts 1/0, true/false, yes/no, on/off (any case).
 bool envBool(const char *Name, bool Default);

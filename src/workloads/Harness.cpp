@@ -107,6 +107,7 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     SC.SchedulerCap = SC.SchedulerAdaptive ? 0 : Config.SchedulerCap;
   }
   SC.AdaptiveLocking = Config.AdaptiveLocking;
+  SC.DebugName = W.name();
   W.tuneStm(SC);
 
   // Size the device: shared data + STM metadata + slack.

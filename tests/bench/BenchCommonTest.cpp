@@ -1,0 +1,71 @@
+//===- tests/bench/BenchCommonTest.cpp - Bench harness helpers ------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// The bench binaries are configured entirely through the environment, so a
+// typo must fail loudly: a misspelled GPUSTM_BENCH_WORKLOADS entry would
+// otherwise run an empty matrix that "passes", and a garbage GPUSTM_SCALE
+// would silently size arrays to nonsense.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace gpustm;
+using namespace gpustm::bench;
+
+namespace {
+
+std::vector<std::string> names() { return {"HT", "KM", "RA", "GA", "VD"}; }
+
+TEST(FilterWorkloadsTest, UnsetKeepsEverything) {
+  ::unsetenv("GPUSTM_BENCH_WORKLOADS");
+  EXPECT_EQ(filterWorkloads(names()), names());
+  ::setenv("GPUSTM_BENCH_WORKLOADS", "", 1);
+  EXPECT_EQ(filterWorkloads(names()), names());
+  ::unsetenv("GPUSTM_BENCH_WORKLOADS");
+}
+
+TEST(FilterWorkloadsTest, FilterPreservesMatrixOrder) {
+  // The filter selects; the bench's own order (paper order) still rules.
+  ::setenv("GPUSTM_BENCH_WORKLOADS", "RA,HT", 1);
+  EXPECT_EQ(filterWorkloads(names()),
+            (std::vector<std::string>{"HT", "RA"}));
+  ::setenv("GPUSTM_BENCH_WORKLOADS", "KM", 1);
+  EXPECT_EQ(filterWorkloads(names()), (std::vector<std::string>{"KM"}));
+  // Stray commas are tolerated; duplicates do not duplicate cells.
+  ::setenv("GPUSTM_BENCH_WORKLOADS", ",KM,,KM,", 1);
+  EXPECT_EQ(filterWorkloads(names()), (std::vector<std::string>{"KM"}));
+  ::unsetenv("GPUSTM_BENCH_WORKLOADS");
+}
+
+TEST(FilterWorkloadsTest, UnknownNameIsFatalAndListsValidNames) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto Filter = [] {
+    ::setenv("GPUSTM_BENCH_WORKLOADS", "KM,Htable", 1);
+    filterWorkloads(names());
+  };
+  EXPECT_DEATH(Filter(),
+               "unknown workload 'Htable'.*valid names: HT, KM, RA, GA, VD");
+  ::unsetenv("GPUSTM_BENCH_WORKLOADS");
+}
+
+TEST(BenchScaleTest, RejectsZeroAndGarbage) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ::unsetenv("GPUSTM_SCALE");
+  EXPECT_EQ(benchScale(), 1u);
+  ::setenv("GPUSTM_SCALE", "4", 1);
+  EXPECT_EQ(benchScale(), 4u);
+  // Scale feeds every array size: zero would run an empty matrix.
+  ::setenv("GPUSTM_SCALE", "0", 1);
+  EXPECT_DEATH(benchScale(), "GPUSTM_SCALE='0'");
+  ::setenv("GPUSTM_SCALE", "2x", 1);
+  EXPECT_DEATH(benchScale(), "trailing garbage");
+  ::unsetenv("GPUSTM_SCALE");
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/fuzz/StmFuzzMutationTest.cpp - Does the fuzzer catch bugs? ---===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// A fuzzer that has stopped finding bugs is indistinguishable from one
+// that cannot.  Each test seeds one deliberate protocol mutation
+// (stm::StmFaults) into the variant most exposed to it and asserts the
+// fuzzer detects it within a bounded, deterministic seed budget -- any
+// check counts (oracle divergence, watchdog trip, determinism break,
+// trace-checker violation).  Budgets are the empirical first-detection
+// seed plus slack; since every seed is a pure function of its number,
+// detection-within-budget is a fixed fact, not a flaky probability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpustm;
+using namespace gpustm::fuzz;
+
+namespace {
+
+/// First failing seed in [0, Budget), or ~0 if the mutation escaped.
+uint64_t detectWithin(const FuzzOptions &O, uint64_t Budget) {
+  for (uint64_t Seed = 0; Seed < Budget; ++Seed)
+    if (!runSeed(Seed, O).Passed)
+      return Seed;
+  return ~0ull;
+}
+
+FuzzOptions mutant(stm::Variant V) {
+  FuzzOptions O;
+  O.TraceSamplePeriod = 4;
+  O.Variants = {V};
+  return O;
+}
+
+/// Mutations that stall progress (leaked locks, unsorted deadlock) are
+/// detected by the watchdog; keep it small so the stall is cheap to hit.
+FuzzOptions stallMutant(stm::Variant V) {
+  FuzzOptions O = mutant(V);
+  O.TraceSamplePeriod = 0;
+  O.WatchdogRounds = 1u << 18;
+  return O;
+}
+
+TEST(StmFuzzMutationTest, DetectsIgnoreStaleSnapshot) {
+  FuzzOptions O = mutant(stm::Variant::TBVSorting);
+  O.Faults.IgnoreStaleSnapshot = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipCommitVbvFilter) {
+  FuzzOptions O = mutant(stm::Variant::HVSorting);
+  O.Faults.SkipCommitVbvFilter = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipLockWait) {
+  FuzzOptions O = mutant(stm::Variant::TBVSorting);
+  O.Faults.SkipLockWait = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipOddSeqWait) {
+  FuzzOptions O = mutant(stm::Variant::VBV);
+  O.Faults.SkipOddSeqWait = true;
+  EXPECT_NE(detectWithin(O, 60), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipReadLogging) {
+  FuzzOptions O = mutant(stm::Variant::HVSorting);
+  O.Faults.SkipReadLogging = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsPublishStaleVersion) {
+  FuzzOptions O = mutant(stm::Variant::TBVSorting);
+  O.Faults.PublishStaleVersion = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsLeakReadLocks) {
+  FuzzOptions O = stallMutant(stm::Variant::TBVSorting);
+  O.Faults.LeakReadLocks = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipWriteBloomInsert) {
+  FuzzOptions O = mutant(stm::Variant::HVSorting);
+  O.Faults.SkipWriteBloomInsert = true;
+  EXPECT_NE(detectWithin(O, 40), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, DetectsDisabledLockSorting) {
+  // Not an StmFaults switch but the existing ablation knob: encounter-order
+  // lock acquisition can deadlock, which the watchdog converts into a
+  // completion failure.
+  FuzzOptions O = stallMutant(stm::Variant::HVSorting);
+  O.DisableSorting = true;
+  EXPECT_NE(detectWithin(O, 60), ~0ull);
+}
+
+TEST(StmFuzzMutationTest, BeginFenceEscapeIsDocumented) {
+  // The known escape: the simulator's memory is sequentially consistent,
+  // so dropping the post-begin threadfence is functionally invisible (it
+  // only costs modeled cycles).  Assert it indeed escapes -- if this test
+  // ever fails, the simulator grew a weaker memory model and the fault
+  // should move to the detected list.
+  FuzzOptions O = mutant(stm::Variant::HVSorting);
+  O.TraceSamplePeriod = 0;
+  O.Faults.SkipBeginFence = true;
+  EXPECT_EQ(detectWithin(O, 15), ~0ull);
+}
+
+} // namespace

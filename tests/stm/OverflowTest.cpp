@@ -1,0 +1,166 @@
+//===- tests/stm/OverflowTest.cpp - Read/write-set overflow handling ------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// Log overflow has two very different meanings.  A *consistent* transaction
+// that exceeds ReadSetCap/WriteSetCap genuinely needs a larger log: that is
+// fatal, and the diagnostic must name the workload, the global thread, the
+// variant, and the offending cap so the report is actionable.  A *doomed*
+// attempt -- one whose read-set no longer value-validates because a
+// concurrent commit invalidated it -- can chase inconsistent values into a
+// footprint the live program never has; its overflow must abort the attempt
+// (like any other validation failure), not the process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tx.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpustm;
+using namespace gpustm::stm;
+using simt::Addr;
+using simt::Device;
+using simt::DeviceConfig;
+using simt::LaunchConfig;
+using simt::LaunchResult;
+using simt::ThreadCtx;
+using simt::Word;
+
+namespace {
+
+DeviceConfig smallDevice() {
+  DeviceConfig C;
+  C.MemoryWords = 1u << 20;
+  C.NumSMs = 2;
+  return C;
+}
+
+StmConfig tinyCaps(Variant V) {
+  StmConfig C;
+  C.Kind = V;
+  C.NumLocks = 1u << 8;
+  C.ReadSetCap = 2;
+  C.WriteSetCap = 2;
+  C.SharedDataWords = 1u << 10;
+  C.DebugName = "overflow-test";
+  return C;
+}
+
+using OverflowDeathTest = ::testing::TestWithParam<Variant>;
+
+TEST_P(OverflowDeathTest, ConsistentReadOverflowIsFatalAndActionable) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto Overflow = [] {
+    Device Dev(smallDevice());
+    Addr Base = Dev.hostAlloc(8);
+    LaunchConfig L{1, 1};
+    StmRuntime Stm(Dev, tinyCaps(GetParam()), L);
+    Dev.launch(L, [&](ThreadCtx &Ctx) {
+      Stm.transaction(Ctx, [&](Tx &T) {
+        // Three distinct uncontended reads against ReadSetCap=2: the
+        // attempt stays consistent, so this is a real capacity bug.
+        for (unsigned I = 0; I < 3; ++I) {
+          T.read(Base + I);
+          if (!T.valid())
+            return;
+        }
+      });
+    });
+  };
+  // The diagnostic names workload, thread, variant, and cap.
+  EXPECT_DEATH(Overflow(),
+               "read-set overflow.*workload 'overflow-test'.*global thread "
+               "0.*ReadSetCap=2");
+}
+
+TEST_P(OverflowDeathTest, ConsistentWriteOverflowIsFatalAndActionable) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto Overflow = [] {
+    Device Dev(smallDevice());
+    Addr Base = Dev.hostAlloc(8);
+    LaunchConfig L{1, 1};
+    StmRuntime Stm(Dev, tinyCaps(GetParam()), L);
+    Dev.launch(L, [&](ThreadCtx &Ctx) {
+      Stm.transaction(Ctx, [&](Tx &T) {
+        for (unsigned I = 0; I < 3; ++I) {
+          T.write(Base + I, I);
+          if (!T.valid())
+            return;
+        }
+      });
+    });
+  };
+  EXPECT_DEATH(Overflow(),
+               "write-set overflow.*workload 'overflow-test'.*global thread "
+               "0.*WriteSetCap=2");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstrumented, OverflowDeathTest,
+                         ::testing::Values(Variant::VBV, Variant::TBVSorting,
+                                           Variant::HVSorting,
+                                           Variant::HVBackoff),
+                         [](const ::testing::TestParamInfo<Variant> &I) {
+                           switch (I.param) {
+                           case Variant::VBV:
+                             return "VBV";
+                           case Variant::TBVSorting:
+                             return "TBV";
+                           case Variant::HVSorting:
+                             return "HV";
+                           default:
+                             return "Backoff";
+                           }
+                         });
+
+TEST(OverflowDoomedTest, DoomedAttemptAbortsInsteadOfDying) {
+  // Thread 0's first attempt reads a footprint whose *size* depends on a
+  // value thread 1 changes mid-attempt: the stale size (5 reads) exceeds
+  // ReadSetCap=3, but since the logged value of N no longer validates, the
+  // overflow dooms the attempt.  The retry sees the new size (1 read),
+  // fits, and commits -- the process must survive and the abort must be
+  // attributed to read validation.
+  Device Dev(smallDevice());
+  Addr N = Dev.hostAlloc(1);     // Footprint size: 5, then 1.
+  Addr B = Dev.hostAlloc(8);     // Read targets.
+  Addr Out = Dev.hostAlloc(1);   // Commit witness.
+  Addr Flag = Dev.hostAlloc(1);  // Thread 0 entered its transaction.
+  Addr Ack = Dev.hostAlloc(1);   // Thread 1 finished interfering.
+  Dev.hostFill(N, 1, 5);
+
+  StmConfig SC = tinyCaps(Variant::TBVSorting);
+  SC.ReadSetCap = 3;
+  LaunchConfig L{2, 1}; // Two blocks: the threads are in different warps.
+  StmRuntime Stm(Dev, SC, L);
+  LaunchResult R = Dev.launch(L, [&](ThreadCtx &Ctx) {
+    if (Ctx.globalThreadId() == 0) {
+      Stm.transaction(Ctx, [&](Tx &T) {
+        Word Count = T.read(N);
+        if (!T.valid())
+          return;
+        Ctx.store(Flag, 1);          // Native signal: mid-transaction.
+        Ctx.memWaitEquals(Ack, 1);   // Wait for the interferer.
+        for (Word I = 0; I < Count; ++I) {
+          T.read(B + I);
+          if (!T.valid())
+            return; // Doomed (read-validation) -- incl. via overflow.
+        }
+        T.write(Out, Count);
+      });
+      return;
+    }
+    Ctx.memWaitEquals(Flag, 1);
+    Ctx.store(N, 1); // Invalidate thread 0's logged read of N.
+    Ctx.threadfence();
+    Ctx.store(Ack, 1);
+  });
+
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(Dev.memory().load(Out), 1u);
+  StmCounters C = Stm.counters();
+  EXPECT_EQ(C.Commits, 1u);
+  EXPECT_GE(C.AbortsReadValidation, 1u);
+  EXPECT_EQ(C.Aborts, C.AbortsReadValidation + C.AbortsCommitValidation);
+}
+
+} // namespace

@@ -174,6 +174,38 @@ TEST(EnvOptionsTest, ParsesBools) {
   ::unsetenv("GPUSTM_TEST_OPT");
 }
 
+TEST(EnvOptionsTest, RangeCheckedAcceptsValidAndDefaults) {
+  ::unsetenv("GPUSTM_TEST_OPT");
+  EXPECT_EQ(envUnsignedInRange("GPUSTM_TEST_OPT", 7, 1, 100), 7u);
+  ::setenv("GPUSTM_TEST_OPT", "", 1);
+  EXPECT_EQ(envUnsignedInRange("GPUSTM_TEST_OPT", 7, 1, 100), 7u);
+  ::setenv("GPUSTM_TEST_OPT", "42", 1);
+  EXPECT_EQ(envUnsignedInRange("GPUSTM_TEST_OPT", 7, 1, 100), 42u);
+  // Range is inclusive on both ends.
+  ::setenv("GPUSTM_TEST_OPT", "1", 1);
+  EXPECT_EQ(envUnsignedInRange("GPUSTM_TEST_OPT", 7, 1, 100), 1u);
+  ::setenv("GPUSTM_TEST_OPT", "100", 1);
+  EXPECT_EQ(envUnsignedInRange("GPUSTM_TEST_OPT", 7, 1, 100), 100u);
+  ::unsetenv("GPUSTM_TEST_OPT");
+}
+
+TEST(EnvOptionsTest, RangeCheckedRejectsBadValues) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Values that size arrays must not silently degrade: set-but-bad is
+  // fatal, and the message names the variable, the value, and the range.
+  auto ReadIt = [](const char *V) {
+    ::setenv("GPUSTM_TEST_OPT", V, 1);
+    return envUnsignedInRange("GPUSTM_TEST_OPT", 7, 1, 100);
+  };
+  EXPECT_DEATH(ReadIt("0"), "GPUSTM_TEST_OPT='0'.*1\\.\\.100");
+  EXPECT_DEATH(ReadIt("101"), "GPUSTM_TEST_OPT='101'.*1\\.\\.100");
+  EXPECT_DEATH(ReadIt("99999999999999999999"), "overflows");
+  EXPECT_DEATH(ReadIt("garbage"), "not a number");
+  EXPECT_DEATH(ReadIt("8x"), "trailing garbage");
+  EXPECT_DEATH(ReadIt("-1"), "GPUSTM_TEST_OPT='-1'");
+  ::unsetenv("GPUSTM_TEST_OPT");
+}
+
 TEST(FunctionRefTest, CallsThroughWithCaptures) {
   int Acc = 0;
   auto AddN = [&Acc](int N) { Acc += N; return Acc; };
