@@ -9,6 +9,8 @@
 #include "support/Format.h"
 #include "trace/Checker.h"
 #include "trace/Recorder.h"
+#include "wmm/MemModel.h"
+#include "wmm/Witness.h"
 #include "workloads/Harness.h"
 
 #include <algorithm>
@@ -39,11 +41,14 @@ uint64_t SeedResult::combinedDigest() const {
 std::string SeedResult::failureSummary() const {
   std::string S;
   for (const VariantOutcome &V : Outcomes)
-    if (!V.Passed)
+    if (!V.Passed) {
       S += formatString("seed %llu, %s: %s check failed: %s\n",
                         static_cast<unsigned long long>(Seed),
                         stm::variantName(V.Kind), V.Check.c_str(),
                         V.Detail.c_str());
+      if (!V.WmmWitness.empty())
+        S += V.WmmWitness;
+    }
   return S;
 }
 
@@ -123,6 +128,36 @@ VariantOutcome runVariant(const FuzzProgram &P, stm::Variant Kind,
   W.Faults = O.Faults;
 
   HarnessConfig HC = makeConfig(P, Kind, O);
+
+  if (O.Wmm) {
+    // Weak-memory run: one model per variant so its deviation log maps to
+    // exactly one launch.  On failure, shrink the deviation set to a
+    // minimal reordering witness by replaying with ever-smaller filters.
+    wmm::WmmConfig WC;
+    WC.Seed = O.WmmSeed;
+    WC.StoreBufferCap = O.WmmBuffer;
+    wmm::MemModel Model(WC);
+    HC.Wmm = &Model;
+    if (runOnce(W, HC, Out, &Out.Digest)) {
+      Out.Passed = true;
+      return Out;
+    }
+    VariantOutcome Scratch;
+    std::vector<wmm::Deviation> Witness = wmm::minimizeWitness(
+        Model.deviations(),
+        [&](const std::vector<wmm::DevKey> &Allowed,
+            std::vector<wmm::Deviation> &Taken) {
+          Model.setReplayFilter(Allowed);
+          Scratch = VariantOutcome();
+          bool Failed = !runOnce(W, HC, Scratch, nullptr);
+          Taken = Model.deviations();
+          return Failed;
+        });
+    Model.clearReplayFilter();
+    Out.WmmWitness = wmm::formatWitness(Witness);
+    return Out;
+  }
+
   if (!runOnce(W, HC, Out, &Out.Digest))
     return Out;
 

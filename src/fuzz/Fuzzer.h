@@ -50,6 +50,15 @@ struct FuzzOptions {
   stm::StmFaults Faults;
   /// Lock-sorting ablation (mutation tests only; expect a watchdog trip).
   bool DisableSorting = false;
+  /// Weak-memory mode (src/wmm/): run every variant under a store-buffer
+  /// memory model instead of sequential consistency.  The sequential
+  /// oracle stays valid (pre-ops touch only task-private words and every
+  /// buffer drains before verification), so fence-elision faults become
+  /// observable failures.  Implies no trace and no jobs-invariance checks
+  /// (those force observers/serial execution that exclude the model).
+  bool Wmm = false;
+  uint64_t WmmSeed = 1;
+  unsigned WmmBuffer = 8;
 };
 
 /// Outcome of one variant on one program.
@@ -62,6 +71,10 @@ struct VariantOutcome {
   std::string Detail;
   /// Digest of final images + counters + modeled cycles.
   uint64_t Digest = 0;
+  /// Minimal reordering witness for a weak-memory failure (FuzzOptions::
+  /// Wmm): the shrunk set of stale/delayed memory effects that reproduce
+  /// it, empty for SC failures or passes.
+  std::string WmmWitness;
 };
 
 /// Outcome of one seed across all requested variants.

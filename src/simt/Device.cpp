@@ -338,6 +338,11 @@ void Device::notifyWriteSlow(Addr A) {
     }
     Warp *W = E.W;
     W->setState(E.LaneIdx, LaneState::Runnable);
+    // The woken lane has observed the watched word "now".  Its own buffer
+    // cannot hold a store to A (parking already drained same-address
+    // entries), so this never re-enters the notify path.
+    if (GPUSTM_UNLIKELY(ActiveWmm != nullptr))
+      ActiveWmm->observeFresh(W->lane(E.LaneIdx).Ctx.globalThreadId(), A);
 #if GPUSTM_SAN_ENABLED
     // The waking store happens-before everything the woken lane does next.
     if (GPUSTM_UNLIKELY(San != nullptr))
@@ -371,6 +376,11 @@ void Device::noteBarrierArrival(BlockState &Block) {
       snapshotSiblings(*S, Block);
   for (auto &W : Block.Warps)
     W->releaseBlockBarrier();
+  // Barrier release: every participant drained on arrival, so moving every
+  // floor to "now" gives __syncthreads its all-prior-stores-visible meaning.
+  if (GPUSTM_UNLIKELY(ActiveWmm != nullptr))
+    ActiveWmm->syncPoint(Block.BlockIdx * CurrentLaunch.BlockDim,
+                         CurrentLaunch.BlockDim);
 }
 
 void Device::noteLaneFinished(BlockState &Block) {
@@ -394,6 +404,9 @@ void Device::noteLaneFinished(BlockState &Block) {
         snapshotSiblings(*S, Block);
     for (auto &W : Block.Warps)
       W->releaseBlockBarrier();
+    if (GPUSTM_UNLIKELY(ActiveWmm != nullptr))
+      ActiveWmm->syncPoint(Block.BlockIdx * CurrentLaunch.BlockDim,
+                           CurrentLaunch.BlockDim);
   }
 }
 
@@ -438,6 +451,13 @@ unsigned Device::resolveDeviceJobs() const {
   }
   return 1;
 #else
+  if (ActiveWmm != nullptr) {
+    // The weak-memory model changes values (that is its purpose), and its
+    // oracle is keyed on serial operation order; speculation would replay
+    // reordered rounds inconsistently.  Always serial, silently: WMM is an
+    // explicit opt-in whose docs state it forces the serial loop.
+    return 1;
+  }
   bool Observed = SerialObserver || static_cast<bool>(TraceHook);
 #if GPUSTM_SAN_ENABLED
   Observed = Observed || San != nullptr;
@@ -822,12 +842,39 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
 
   activatePendingBlocks();
 
+  // Weak-memory mode: active only when no SC-assuming observer watches the
+  // same launch (trace hooks and simtsan both replay/check values under
+  // sequential consistency, so they win and the model sits out).
+  ActiveWmm = Wmm;
+  if (ActiveWmm != nullptr &&
+      (static_cast<bool>(TraceHook) || SerialObserver ||
+       sanHooks() != nullptr)) {
+    static bool WarnedWmmConflict = false;
+    if (!WarnedWmmConflict) {
+      WarnedWmmConflict = true;
+      std::fprintf(stderr,
+                   "gpustm: warning: weak-memory mode (GPUSTM_WMM) disabled "
+                   "for launches with a trace/simtsan observer attached\n");
+    }
+    ActiveWmm = nullptr;
+  }
+  if (GPUSTM_UNLIKELY(ActiveWmm != nullptr))
+    ActiveWmm->beginLaunch(Mem, Launch.totalThreads(), [this](Addr A, Word V) {
+      Mem.store(A, V);
+      notifyWrite(A);
+    });
+
   LaunchResult Result;
   unsigned Jobs = resolveDeviceJobs();
   if (Jobs > 1)
     runParallelLoop(Result, Jobs);
   else
     runSerialLoop(Result);
+
+  // Leftover buffered stores (watchdog/deadlock aborts) reach memory
+  // before the host reads results.
+  if (GPUSTM_UNLIKELY(ActiveWmm != nullptr))
+    ActiveWmm->endLaunch();
 
   uint64_t Elapsed = 0;
   for (SmState &Sm : Sms)
@@ -849,6 +896,15 @@ LaunchResult Device::launch(const LaunchConfig &Launch, KernelFn Kernel) {
   S.set("simt.atomics", Counters.Atomics);
   S.set("simt.fences", Counters.Fences);
   S.set("simt.elapsed_cycles", Elapsed);
+  if (GPUSTM_UNLIKELY(ActiveWmm != nullptr)) {
+    const wmm::WmmStats &WS = ActiveWmm->stats();
+    S.set("wmm.stale_loads", WS.StaleLoads);
+    S.set("wmm.delayed_stores", WS.DelayedStores);
+    S.set("wmm.reordered_drains", WS.ReorderedDrains);
+    S.set("wmm.drains", WS.Drains);
+    S.set("wmm.forced_drains", WS.ForcedDrains);
+    ActiveWmm = nullptr;
+  }
 
 #if GPUSTM_SAN_ENABLED
   if (GPUSTM_UNLIKELY(San != nullptr))
@@ -869,6 +925,15 @@ void Device::runSerialLoop(LaunchResult &Result) {
       if (LiveBlocks == 0 && NextPendingBlock == CurrentLaunch.GridDim) {
         Result.Completed = true;
         break;
+      }
+      // Under weak memory the wake-up store for a parked lane may still
+      // sit in a store buffer; flush everything and retry before calling
+      // it a deadlock.
+      if (GPUSTM_UNLIKELY(ActiveWmm != nullptr) &&
+          ActiveWmm->drainAllPending()) {
+        for (SmState &Sm : Sms)
+          recomputeCandidate(Sm);
+        continue;
       }
       // Live lanes exist but none can run: SIMT divergence deadlock.
       Result.Deadlocked = true;
@@ -904,6 +969,10 @@ void Device::runSerialLoop(LaunchResult &Result) {
       discardInFlight();
       break;
     }
+    // Age out long-buffered stores so no spin loop waits forever on a
+    // value that exists only in another lane's buffer.
+    if (GPUSTM_UNLIKELY(ActiveWmm != nullptr) && (RoundsExecuted & 255) == 0)
+      ActiveWmm->tick();
 
     // Retirement (and the block-activation rescan it may unlock) only
     // matters on rounds where a block actually drained; noteLaneFinished

@@ -14,8 +14,12 @@
 /// The simulation is fully deterministic: memory operations take effect in
 /// warp-round issue order, which is itself a deterministic function of the
 /// cost model.  This both makes every experiment reproducible and gives the
-/// STM a sequentially consistent memory substrate (fences cost cycles but
-/// need no functional effect).  By default the round loop is serial; with
+/// STM a sequentially consistent memory substrate by default (fences cost
+/// cycles but need no functional effect).  Attaching a wmm::MemModel
+/// (setWmmModel; GPUSTM_WMM=1 via the harness) opts into a weakly ordered
+/// substrate -- per-lane store buffers plus stale load bindings, resolved
+/// by a seeded oracle -- so the protocol's fences are functionally tested
+/// (DESIGN.md section 11).  By default the round loop is serial; with
 /// GPUSTM_DEVICE_JOBS > 1 rounds from different SMs execute speculatively
 /// on worker threads but still *commit* in the serial (issue-cycle,
 /// SM-index) order, so all outputs stay bit-identical (DESIGN.md section 9).
@@ -27,6 +31,7 @@
 
 #include "simt/Memory.h"
 #include "simt/SanHooks.h"
+#include "wmm/MemModel.h"
 #include "simt/Spec.h"
 #include "simt/Timing.h"
 #include "simt/Warp.h"
@@ -178,6 +183,16 @@ public:
     return nullptr;
 #endif
   }
+
+  /// Attach (or detach, with nullptr) a weak-memory model (src/wmm/).
+  /// Caller keeps ownership; the model must outlive the launches it
+  /// relaxes.  While attached, launches run on the serial round loop and
+  /// the model's reorderings change *values* (that is the point); a
+  /// simtsan observer or trace hook on the same launch wins -- both
+  /// assume SC memory -- and disables the model with a one-line warning.
+  void setWmmModel(wmm::MemModel *M) { Wmm = M; }
+  /// The attached weak-memory model (null when none).
+  wmm::MemModel *wmmModel() const { return Wmm; }
 
   /// Current simulated time (issue cycle of the executing warp round).
   /// Host-side controllers (e.g. the STM's adaptive transaction scheduler)
@@ -378,6 +393,11 @@ private:
   std::atomic<bool> SpecQuit{false};
   uint64_t Replays = 0;
   bool SerialObserver = false;
+  /// Attached weak-memory model (see setWmmModel) and the launch-scoped
+  /// active pointer: non-null only while a launch is actually relaxing
+  /// memory, so every hot-path hook is one pointer test when off.
+  wmm::MemModel *Wmm = nullptr;
+  wmm::MemModel *ActiveWmm = nullptr;
   /// Resolved schedule-fuzz seed (0 = off; see DeviceConfig::SchedFuzzSeed).
   uint64_t SchedSeed = 0;
   LaneStateHook LaneHook;

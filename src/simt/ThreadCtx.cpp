@@ -134,7 +134,10 @@ void ThreadCtx::prefetchMem(Addr A) const { Dev->memory().prefetch(A); }
 // serial loop, the common case) or, under an in-flight RoundSpec, through
 // the spec's logged-read / buffered-write view.  The simtsan access hook
 // stays in the serial branch only: an attached observer forces serial
-// execution, so the two never coexist.
+// execution, so the two never coexist.  The same holds for the weak-memory
+// model hooks (Dev->ActiveWmm): weak-memory launches are always serial and
+// never traced or sanitized, so all three stay confined to the serial
+// branch and off mode costs one predictable-null pointer test.
 
 Word ThreadCtx::load(Addr A) {
   GPUSTM_SAN_BOUNDS(A, Load);
@@ -144,7 +147,30 @@ Word ThreadCtx::load(Addr A) {
     V = S->specLoad(Dev->memory(), A);
     ++S->Counters.Loads;
   } else {
-    V = Dev->memory().load(A);
+    wmm::MemModel *M = Dev->ActiveWmm;
+    V = GPUSTM_UNLIKELY(M != nullptr) ? M->load(globalThreadId(), A)
+                                      : Dev->memory().load(A);
+    GPUSTM_SAN_ACCESS(A, Load);
+    ++Dev->Counters.Loads;
+  }
+  Op O;
+  O.Kind = OpKind::Load;
+  O.Address = A;
+  yieldOp(O);
+  return V;
+}
+
+Word ThreadCtx::loadFresh(Addr A) {
+  GPUSTM_SAN_BOUNDS(A, Load);
+  Word V;
+  RoundSpec *S = ActiveSpecTLS;
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
+    V = S->specLoad(Dev->memory(), A);
+    ++S->Counters.Loads;
+  } else {
+    wmm::MemModel *M = Dev->ActiveWmm;
+    V = GPUSTM_UNLIKELY(M != nullptr) ? M->loadFresh(globalThreadId(), A)
+                                      : Dev->memory().load(A);
     GPUSTM_SAN_ACCESS(A, Load);
     ++Dev->Counters.Loads;
   }
@@ -162,9 +188,19 @@ void ThreadCtx::store(Addr A, Word V) {
     S->specStore(A, V);
     ++S->Counters.Stores;
   } else {
-    Dev->memory().store(A, V);
-    GPUSTM_SAN_ACCESS(A, Store);
-    Dev->notifyWrite(A);
+    wmm::MemModel *M = Dev->ActiveWmm;
+    if (GPUSTM_UNLIKELY(M != nullptr)) {
+      // Buffered stores stay invisible (no memory write, no watcher
+      // wakeups) until the model drains them through the Device's sink.
+      if (!M->store(globalThreadId(), A, V)) {
+        Dev->memory().store(A, V);
+        Dev->notifyWrite(A);
+      }
+    } else {
+      Dev->memory().store(A, V);
+      GPUSTM_SAN_ACCESS(A, Store);
+      Dev->notifyWrite(A);
+    }
     ++Dev->Counters.Stores;
   }
   Op O;
@@ -181,9 +217,14 @@ Word ThreadCtx::atomicCAS(Addr A, Word Expected, Word Desired) {
     Old = S->specAtomicCAS(Dev->memory(), A, Expected, Desired);
     ++S->Counters.Atomics;
   } else {
+    wmm::MemModel *M = Dev->ActiveWmm;
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->preAtomic(globalThreadId(), A);
     Old = Dev->memory().atomicCAS(A, Expected, Desired);
     GPUSTM_SAN_ACCESS(A, Atomic);
     Dev->notifyWrite(A);
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->postAtomic(globalThreadId(), A);
     ++Dev->Counters.Atomics;
   }
   Op O;
@@ -201,9 +242,14 @@ Word ThreadCtx::atomicAdd(Addr A, Word V) {
     Old = S->specAtomicAdd(Dev->memory(), A, V);
     ++S->Counters.Atomics;
   } else {
+    wmm::MemModel *M = Dev->ActiveWmm;
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->preAtomic(globalThreadId(), A);
     Old = Dev->memory().atomicAdd(A, V);
     GPUSTM_SAN_ACCESS(A, Atomic);
     Dev->notifyWrite(A);
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->postAtomic(globalThreadId(), A);
     ++Dev->Counters.Atomics;
   }
   Op O;
@@ -221,9 +267,14 @@ Word ThreadCtx::atomicOr(Addr A, Word V) {
     Old = S->specAtomicOr(Dev->memory(), A, V);
     ++S->Counters.Atomics;
   } else {
+    wmm::MemModel *M = Dev->ActiveWmm;
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->preAtomic(globalThreadId(), A);
     Old = Dev->memory().atomicOr(A, V);
     GPUSTM_SAN_ACCESS(A, Atomic);
     Dev->notifyWrite(A);
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->postAtomic(globalThreadId(), A);
     ++Dev->Counters.Atomics;
   }
   Op O;
@@ -241,9 +292,14 @@ Word ThreadCtx::atomicExch(Addr A, Word V) {
     Old = S->specAtomicExch(Dev->memory(), A, V);
     ++S->Counters.Atomics;
   } else {
+    wmm::MemModel *M = Dev->ActiveWmm;
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->preAtomic(globalThreadId(), A);
     Old = Dev->memory().atomicExch(A, V);
     GPUSTM_SAN_ACCESS(A, Atomic);
     Dev->notifyWrite(A);
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->postAtomic(globalThreadId(), A);
     ++Dev->Counters.Atomics;
   }
   Op O;
@@ -261,9 +317,14 @@ Word ThreadCtx::atomicMin(Addr A, Word V) {
     Old = S->specAtomicMin(Dev->memory(), A, V);
     ++S->Counters.Atomics;
   } else {
+    wmm::MemModel *M = Dev->ActiveWmm;
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->preAtomic(globalThreadId(), A);
     Old = Dev->memory().atomicMin(A, V);
     GPUSTM_SAN_ACCESS(A, Atomic);
     Dev->notifyWrite(A);
+    if (GPUSTM_UNLIKELY(M != nullptr))
+      M->postAtomic(globalThreadId(), A);
     ++Dev->Counters.Atomics;
   }
   Op O;
@@ -275,10 +336,15 @@ Word ThreadCtx::atomicMin(Addr A, Word V) {
 
 void ThreadCtx::threadfence() {
   RoundSpec *S = ActiveSpecTLS;
-  if (GPUSTM_UNLIKELY(S != nullptr))
+  if (GPUSTM_UNLIKELY(S != nullptr)) {
     ++S->Counters.Fences;
-  else
+  } else {
+    // Weak-memory mode: the fence drains this lane's store buffer and
+    // raises its binding floor (the fence's two ordering guarantees).
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->fence(globalThreadId());
     ++Dev->Counters.Fences;
+  }
 #if GPUSTM_SAN_ENABLED
   if (GPUSTM_UNLIKELY(Dev->San != nullptr))
     Dev->San->onFence(globalThreadId());
@@ -297,6 +363,12 @@ void ThreadCtx::compute(uint32_t Cycles) {
 
 void ThreadCtx::memWaitEquals(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Load);
+  // The wait's poll reads real memory (Warp.cpp), so under weak memory it
+  // is a fresh observation of A: drain own same-address entries and bind
+  // the address at "now" (spin loops never starve on a stale binding).
+  if (ActiveSpecTLS == nullptr)
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->observeFresh(globalThreadId(), A);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -307,6 +379,12 @@ void ThreadCtx::memWaitEquals(Addr A, Word V) {
 
 void ThreadCtx::memWaitBitClear(Addr A, Word Mask) {
   GPUSTM_SAN_BOUNDS(A, Load);
+  // The wait's poll reads real memory (Warp.cpp), so under weak memory it
+  // is a fresh observation of A: drain own same-address entries and bind
+  // the address at "now" (spin loops never starve on a stale binding).
+  if (ActiveSpecTLS == nullptr)
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->observeFresh(globalThreadId(), A);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -317,6 +395,12 @@ void ThreadCtx::memWaitBitClear(Addr A, Word Mask) {
 
 void ThreadCtx::memWaitNotEquals(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Load);
+  // The wait's poll reads real memory (Warp.cpp), so under weak memory it
+  // is a fresh observation of A: drain own same-address entries and bind
+  // the address at "now" (spin loops never starve on a stale binding).
+  if (ActiveSpecTLS == nullptr)
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->observeFresh(globalThreadId(), A);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -327,6 +411,12 @@ void ThreadCtx::memWaitNotEquals(Addr A, Word V) {
 
 void ThreadCtx::memWaitGreaterEq(Addr A, Word V) {
   GPUSTM_SAN_BOUNDS(A, Load);
+  // The wait's poll reads real memory (Warp.cpp), so under weak memory it
+  // is a fresh observation of A: drain own same-address entries and bind
+  // the address at "now" (spin loops never starve on a stale binding).
+  if (ActiveSpecTLS == nullptr)
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->observeFresh(globalThreadId(), A);
   Op O;
   O.Kind = OpKind::MemWait;
   O.Address = A;
@@ -336,12 +426,24 @@ void ThreadCtx::memWaitGreaterEq(Addr A, Word V) {
 }
 
 void ThreadCtx::syncThreads() {
+  // Weak memory: a block barrier drains the arriving lane's buffer and orders
+  // its observations (the release side is completed by the Device's
+  // syncPoint when the barrier opens).
+  if (ActiveSpecTLS == nullptr)
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->barrierArrive(globalThreadId());
   Op O;
   O.Kind = OpKind::BlockBarrier;
   yieldOp(O);
 }
 
 void ThreadCtx::syncWarp() {
+  // Weak memory: a warp-level sync drains the arriving lane's buffer and orders
+  // its observations (the release side is completed by the Device's
+  // syncPoint when the barrier opens).
+  if (ActiveSpecTLS == nullptr)
+    if (wmm::MemModel *M = Dev->ActiveWmm; GPUSTM_UNLIKELY(M != nullptr))
+      M->barrierArrive(globalThreadId());
   Op O;
   O.Kind = OpKind::WarpSync;
   yieldOp(O);

@@ -77,6 +77,13 @@ public:
 
   /// Global load of one word.
   Word load(Addr A);
+  /// L1-bypassing global load (CUDA `ld.global.cg`): always reads the
+  /// current L2/global value.  Identical to load() in cost and on the
+  /// default SC substrate; under the weak-memory model (GPUSTM_WMM) it
+  /// binds at "now" instead of an oracle-chosen past point.  The STM's
+  /// value-validation re-reads must use this -- a cached plain load could
+  /// satisfy validation with the very staleness it is probing for.
+  Word loadFresh(Addr A);
   /// Global store of one word.
   void store(Addr A, Word V);
   /// Host-cache prefetch hint for \p A (see Memory::prefetch).  Free in the
@@ -92,9 +99,12 @@ public:
   Word atomicExch(Addr A, Word V);
   /// atomicMin: *A = min(*A, V); returns old *A.
   Word atomicMin(Addr A, Word V);
-  /// CUDA __threadfence(): orders this lane's prior accesses.  The simulator
-  /// is sequentially consistent, so this only costs cycles, but the STM
-  /// issues it exactly where the paper's Algorithm 3 does.
+  /// CUDA __threadfence(): orders this lane's prior accesses.  On the
+  /// default sequentially consistent substrate this only costs cycles; in
+  /// weak-memory mode (GPUSTM_WMM, DESIGN.md section 11) it drains the
+  /// lane's store buffer and raises its load-binding floor, so the fences
+  /// Algorithm 3 places are functionally load-bearing and elisions are
+  /// observable.
   void threadfence();
   /// Explicit ALU work of \p Cycles cycles (models native computation).
   void compute(uint32_t Cycles = 1);

@@ -121,6 +121,10 @@ void Warp::stepLane(unsigned I, RoundSpec *Spec) {
       Spec->StackReleases.push_back(L.Fib.takeStack());
     else
       Dev.Stacks.release(L.Fib.takeStack());
+    // Weak memory: an exiting lane's buffered stores must reach memory
+    // (oracle-ordered; exit is a flush point but not an ordering point).
+    if (GPUSTM_UNLIKELY(Spec == nullptr && Dev.ActiveWmm != nullptr))
+      Dev.ActiveWmm->laneFinished(L.Ctx.globalThreadId());
     Dev.noteLaneFinished(*Block);
     return;
   }

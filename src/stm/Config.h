@@ -44,15 +44,21 @@ struct StmFaults {
   bool LeakReadLocks = false;
   /// Skip the write-set bloom insert: read-own-write misses the buffer.
   bool SkipWriteBloomInsert = false;
-  /// Drop the post-begin threadfence (line 5).  Expected escape: the
-  /// simulator's memory is sequentially consistent (fences cost cycles but
-  /// have no functional effect), so no checker can observe this.
+  /// Drop the post-begin threadfence (line 5).  Invisible under the
+  /// default sequentially consistent simulation (fences cost cycles but
+  /// have no functional effect there); detected under GPUSTM_WMM=1, where
+  /// the read phase can bind data older than the begin snapshot proved.
   bool SkipBeginFence = false;
+  /// Drop the pre-publish threadfence (line 82): version locks release
+  /// before the write-back is visible.  Like SkipBeginFence, only
+  /// observable under the weak-memory mode (GPUSTM_WMM=1).
+  bool SkipPublishFence = false;
 
   bool any() const {
     return IgnoreStaleSnapshot || SkipCommitVbvFilter || SkipLockWait ||
            SkipOddSeqWait || SkipReadLogging || PublishStaleVersion ||
-           LeakReadLocks || SkipWriteBloomInsert || SkipBeginFence;
+           LeakReadLocks || SkipWriteBloomInsert || SkipBeginFence ||
+           SkipPublishFence;
   }
 };
 

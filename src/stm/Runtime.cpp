@@ -187,8 +187,15 @@ void StmRuntime::cglTransaction(ThreadCtx &Ctx, function_ref<void(Tx &)> Body) {
       Ctx.memWaitEquals(CglServingAddr, MyTicket);
     }
   }
+  // Acquire fence: orders the serving-word observation before the critical
+  // section's data loads; without it a load inside the section may bind a
+  // value older than the previous holder's release (fence-audit finding,
+  // litmus test stm-lock-acquire-nofence).
+  Ctx.threadfence();
   Ctx.setPhase(Phase::Native);
   Body(T);
+  // Release fence: orders the critical section's stores before the serving
+  // bump that hands the lock to the next ticket.
   Ctx.threadfence();
   Ctx.setPhase(Phase::Locking);
   // The ticket lock totally orders CGL critical sections, so the ticket

@@ -60,8 +60,10 @@ void Tx::begin() {
   } else {
     Desc.Snapshot = Ctx.load(Rt.ClockAddr); // line 4
   }
+  // Line 5: orders the snapshot load before every read-phase data load, so
+  // no data value older than what the snapshot proves can be observed.
   if (!Rt.Config.Faults.SkipBeginFence)
-    Ctx.threadfence(); // line 5
+    Ctx.threadfence();
   Ctx.setPhase(Phase::Native);
 }
 
@@ -118,7 +120,9 @@ Word Tx::read(Addr A) {
     Ctx.store(readValSlot(Desc.ReadCount), Val);
     ++Desc.ReadCount;
   }
-  Ctx.threadfence(); // line 26
+  // Line 26: orders the data load (line 24) before the lock-word check
+  // below -- a lock observed free then covers the value already read.
+  Ctx.threadfence();
 
   Ctx.setPhase(Phase::Consistency);
   if (Rt.Val == Validation::VBV) {
@@ -245,12 +249,18 @@ bool Tx::postValidation(Word Version) {
       Word Cur;
       {
         MemClassScope SanData(Ctx, MemClass::TxData);
-        Cur = Ctx.load(A);
+        // Fresh (ld.global.cg) re-read: a cached/stale re-binding of an
+        // address this transaction already loaded would make validation
+        // vacuously pass against its own stale value (litmus test
+        // stm-validate-reread-plain reaches exactly that outcome).
+        Cur = Ctx.loadFresh(A);
       }
       if (Cur != Logged)
         return false;
     }
-    Ctx.threadfence(); // line 12
+    // Line 12: orders the value re-reads above before the lock re-checks
+    // below, closing the check-then-overwritten race window.
+    Ctx.threadfence();
     // Lines 13-19: the validated values must not have been overwritten by
     // a concurrent commit while we were checking them.
     bool Retry = false;
@@ -285,7 +295,9 @@ bool Tx::vbv() {
     Word Cur;
     {
       MemClassScope SanData(Ctx, MemClass::TxData);
-      Cur = Ctx.load(A);
+      // Fresh re-read, same rationale as postValidation: validating a
+      // value against a stale re-binding of itself proves nothing.
+      Cur = Ctx.loadFresh(A);
     }
     if (Cur != Logged)
       return false;
@@ -368,7 +380,9 @@ bool Tx::validateAndWriteBack() {
       return false; // line 78
     }
   }
-  Ctx.threadfence(); // line 79
+  // Line 79: orders the lock acquisitions (and the validation reads they
+  // cover) before the write-back stores below.
+  Ctx.threadfence();
   Ctx.setPhase(Phase::Commit);
   for (unsigned I = 0; I < Desc.WriteCount; ++I) { // lines 80-81
     if (I + 1 < Desc.WriteCount) { // Host prefetch hints (free, no yield).
@@ -383,7 +397,10 @@ bool Tx::validateAndWriteBack() {
       Ctx.store(A, V);
     }
   }
-  Ctx.threadfence();                                // line 82
+  // Line 82: orders the write-back stores before the clock bump and lock
+  // release -- readers that see the new version must see the new data.
+  if (!Rt.Config.Faults.SkipPublishFence)
+    Ctx.threadfence();
   Word Version = Ctx.atomicAdd(Rt.ClockAddr, 1) + 1; // line 83
   Desc.LastCommitVersion = Version;
   Ctx.setPhase(Phase::Locking);
@@ -533,13 +550,17 @@ bool Tx::norecPostValidate() {
       Word Cur;
       {
         MemClassScope SanData(Ctx, MemClass::TxData);
-        Cur = Ctx.load(A);
+        // Fresh re-read, same rationale as postValidation: validating a
+        // value against a stale re-binding of itself proves nothing.
+        Cur = Ctx.loadFresh(A);
       }
       if (Cur != Logged)
         Match = false;
     }
     if (!Match)
       return false;
+    // NOrec's line-12 analogue: orders the value re-reads above before the
+    // sequence-lock re-check, so an unchanged lock covers all of them.
     Ctx.threadfence();
     if (Ctx.load(Rt.SeqLockAddr) == T) {
       Desc.Snapshot = T;
@@ -584,7 +605,10 @@ bool Tx::norecCommit() {
       Ctx.store(A, V);
     }
   }
-  Ctx.threadfence();
+  // NOrec's line-82 analogue: orders the write-back stores before the
+  // sequence-lock release that publishes them.
+  if (!Rt.Config.Faults.SkipPublishFence)
+    Ctx.threadfence();
   Ctx.setPhase(Phase::Locking);
   Ctx.store(Rt.SeqLockAddr, Desc.Snapshot + 2);
   Desc.LastCommitVersion = Desc.Snapshot + 2;

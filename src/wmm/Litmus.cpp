@@ -1,0 +1,474 @@
+//===- wmm/Litmus.cpp - Litmus-kernel model checker -----------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wmm/Litmus.h"
+#include "simt/Device.h"
+#include "wmm/Witness.h"
+
+#include <algorithm>
+
+using namespace gpustm;
+using namespace gpustm::wmm;
+using simt::Addr;
+using simt::Word;
+
+namespace {
+
+/// One static program variant: the (possibly hoisted) thread programs,
+/// the synthesized hoist deviations for witness reporting, and per-thread
+/// start delays (in warp rounds).
+struct ProgramVariant {
+  std::vector<LitmusThread> Threads;
+  std::vector<Deviation> Hoists;
+  std::vector<unsigned> Delays;
+};
+
+/// Enumerate static load-store hoists: per thread, identity or one swap of
+/// an adjacent (load; independent store) pair with no fence between.  A
+/// real GPU (or its compiler) may retire the store before the load
+/// completes; store buffers alone cannot express that, so the runner
+/// enumerates it as a program transform.  Cartesian product across
+/// threads, capped.
+std::vector<ProgramVariant> hoistVariants(const LitmusTest &T) {
+  // Per-thread alternatives: index ~0 = identity, else the swap position.
+  std::vector<std::vector<size_t>> PerThread(T.Threads.size());
+  for (size_t Th = 0; Th < T.Threads.size(); ++Th) {
+    PerThread[Th].push_back(~size_t(0));
+    const std::vector<LOp> &Ops = T.Threads[Th].Ops;
+    for (size_t I = 0; I + 1 < Ops.size(); ++I)
+      if (Ops[I].K == LOp::Load && Ops[I + 1].K == LOp::Store &&
+          Ops[I].Var != Ops[I + 1].Var)
+        PerThread[Th].push_back(I);
+  }
+  std::vector<ProgramVariant> Variants;
+  std::vector<size_t> Pick(T.Threads.size(), 0);
+  for (;;) {
+    ProgramVariant V;
+    V.Threads = T.Threads;
+    for (size_t Th = 0; Th < Pick.size(); ++Th) {
+      size_t Swap = PerThread[Th][Pick[Th]];
+      if (Swap == ~size_t(0))
+        continue;
+      std::swap(V.Threads[Th].Ops[Swap], V.Threads[Th].Ops[Swap + 1]);
+      Deviation D;
+      D.Kind = DeviationKind::HoistedStore;
+      D.Key = DevKey{static_cast<unsigned>(Th), Swap};
+      D.Address = V.Threads[Th].Ops[Swap].Var; // Var index, not an Addr.
+      D.UsedValue = V.Threads[Th].Ops[Swap].Value;
+      V.Hoists.push_back(D);
+    }
+    Variants.push_back(std::move(V));
+    if (Variants.size() >= 64)
+      break;
+    // Odometer increment.
+    size_t Th = 0;
+    while (Th < Pick.size() && ++Pick[Th] == PerThread[Th].size())
+      Pick[Th++] = 0;
+    if (Th == Pick.size())
+      break;
+  }
+  return Variants;
+}
+
+/// Cross \p Hoisted with per-thread start delays.  The simulator launches
+/// every block in lockstep rounds, so without skew a reader's early loads
+/// always precede a writer's late stores in the serial order and outcomes
+/// that need a late-starting thread (MP's stale data behind a fresh flag)
+/// are unreachable; real GPUs provide that skew for free.  Delays are
+/// benign timing, never part of a witness.  Only relative skew matters, so
+/// at least one thread always starts at round zero.
+std::vector<ProgramVariant> programVariants(const LitmusTest &T) {
+  std::vector<ProgramVariant> Hoisted = hoistVariants(T);
+  unsigned MaxDelay = 0;
+  for (const LitmusThread &Th : T.Threads)
+    MaxDelay += static_cast<unsigned>(Th.Ops.size());
+  MaxDelay = std::min(MaxDelay, 6u);
+
+  std::vector<ProgramVariant> Variants;
+  std::vector<unsigned> Delay(T.Threads.size(), 0);
+  for (;;) {
+    if (*std::min_element(Delay.begin(), Delay.end()) == 0) {
+      for (const ProgramVariant &H : Hoisted) {
+        ProgramVariant V = H;
+        V.Delays = Delay;
+        Variants.push_back(std::move(V));
+        if (Variants.size() >= 1024)
+          return Variants;
+      }
+    }
+    size_t Th = 0;
+    while (Th < Delay.size() && ++Delay[Th] > MaxDelay)
+      Delay[Th++] = 0;
+    if (Th == Delay.size())
+      break;
+  }
+  return Variants;
+}
+
+struct ExecResult {
+  LitmusOutcome Out;
+  std::vector<unsigned> Fanouts;
+  std::vector<Deviation> Devs;
+  bool Completed = false;
+};
+
+/// Run one execution of \p PV under \p Orc and collect the outcome.
+ExecResult runOnce(const LitmusTest &T, const ProgramVariant &PV,
+                   const LitmusRunOptions &Opt, Oracle *Orc) {
+  simt::DeviceConfig DC;
+  DC.NumSMs = 2;
+  DC.MemoryWords = T.NumVars + 64;
+  DC.WatchdogRounds = 1u << 20;
+  simt::Device Dev(DC);
+  Addr Vars = Dev.hostAlloc(T.NumVars);
+  Dev.hostFill(Vars, T.NumVars, 0);
+
+  WmmConfig WC;
+  WC.Seed = Opt.Seed;
+  WC.StoreBufferCap = Opt.StoreBufferCap;
+  MemModel Model(WC);
+  if (Orc != nullptr)
+    Model.setOracle(Orc);
+  Dev.setWmmModel(&Model);
+
+  ExecResult R;
+  // Registers live host-side: they are thread-private by construction, and
+  // keeping them out of simulated memory keeps the choice tree small.
+  R.Out.Regs.assign(T.Threads.size(),
+                    std::vector<Word>(T.RegsPerThread, 0));
+
+  unsigned NT = static_cast<unsigned>(T.Threads.size());
+  simt::LaunchResult LR =
+      Dev.launch(simt::LaunchConfig{NT, 1}, [&](simt::ThreadCtx &Ctx) {
+        unsigned Th = Ctx.blockIdx();
+        std::vector<Word> &Regs = R.Out.Regs[Th];
+        // Start-skew rounds (see programVariants).  Scheduling is
+        // cycle-driven, so each unit must cost about one global-memory op
+        // for the skew to shift this thread relative to the others' ops.
+        for (unsigned D = 0; D < PV.Delays[Th]; ++D)
+          Ctx.compute(DC.Timing.GlobalMemLatency);
+        for (const LOp &Op : PV.Threads[Th].Ops) {
+          Addr A = Vars + Op.Var;
+          switch (Op.K) {
+          case LOp::Load: {
+            Word V = Ctx.load(A);
+            if (Op.Reg != ~0u)
+              Regs[Op.Reg] = V;
+            break;
+          }
+          case LOp::LoadFresh: {
+            Word V = Ctx.loadFresh(A);
+            if (Op.Reg != ~0u)
+              Regs[Op.Reg] = V;
+            break;
+          }
+          case LOp::Store:
+            Ctx.store(A, Op.Value);
+            break;
+          case LOp::Fence:
+            Ctx.threadfence();
+            break;
+          case LOp::AtomicAdd: {
+            Word V = Ctx.atomicAdd(A, Op.Value);
+            if (Op.Reg != ~0u)
+              Regs[Op.Reg] = V;
+            break;
+          }
+          case LOp::WaitEq:
+            // Spin-acquire: the park's poll reads real memory, so the
+            // fresh confirming load cannot livelock on a stale binding.
+            for (;;) {
+              Ctx.memWaitEquals(A, Op.Value);
+              if (Ctx.loadFresh(A) == Op.Value)
+                break;
+            }
+            break;
+          }
+        }
+      });
+  R.Completed = LR.Completed;
+  R.Out.FinalMem.resize(T.NumVars);
+  Dev.hostRead(Vars, R.Out.FinalMem.data(), T.NumVars);
+  R.Devs = Model.deviations();
+  // Prepend the variant's static hoists so the witness is complete.
+  R.Devs.insert(R.Devs.begin(), PV.Hoists.begin(), PV.Hoists.end());
+  return R;
+}
+
+} // namespace
+
+LitmusResult wmm::runLitmus(const LitmusTest &T, const LitmusRunOptions &O) {
+  LitmusResult Res;
+  std::vector<ProgramVariant> Variants = programVariants(T);
+  unsigned Budget = O.MaxExecutions;
+  bool AllExhaustive = true;
+  auto NoteReached = [&](const ExecResult &E) {
+    if (!Res.ForbiddenReached || E.Devs.size() < Res.Witness.size()) {
+      Res.Witness = E.Devs;
+      Res.WitnessText = formatWitness(E.Devs);
+    }
+    Res.ForbiddenReached = true;
+  };
+
+  for (const ProgramVariant &PV : Variants) {
+    // Stateless DFS over the oracle's choice tree: run a script, then
+    // branch every consultation past the script's end.
+    std::vector<std::vector<unsigned>> Frontier;
+    Frontier.push_back({});
+    bool Exhaustive = true;
+    while (!Frontier.empty()) {
+      if (Res.Executions >= Budget) {
+        Exhaustive = false;
+        break;
+      }
+      std::vector<unsigned> Script = std::move(Frontier.back());
+      Frontier.pop_back();
+      ScriptedOracle Orc(Script);
+      ExecResult E = runOnce(T, PV, O, &Orc);
+      ++Res.Executions;
+      if (E.Completed && T.Forbidden(E.Out))
+        NoteReached(E);
+      const std::vector<unsigned> &F = Orc.fanouts();
+      for (size_t I = Script.size(); I < F.size(); ++I) {
+        if (F[I] <= 1)
+          continue;
+        for (unsigned B = 1; B < F[I]; ++B) {
+          std::vector<unsigned> Child = Script;
+          Child.resize(I, 0); // Unscripted prefix took the SC branch.
+          Child.push_back(B);
+          Frontier.push_back(std::move(Child));
+        }
+      }
+    }
+    AllExhaustive = AllExhaustive && Exhaustive;
+  }
+  Res.Exhaustive = AllExhaustive;
+
+  // Random sampling tops up truncated sweeps.
+  if (!Res.Exhaustive) {
+    for (unsigned I = 0; I < O.RandomExecutions; ++I) {
+      const ProgramVariant &PV = Variants[I % Variants.size()];
+      RandomOracle Orc(O.Seed + 0x1000 + I);
+      ExecResult E = runOnce(T, PV, O, &Orc);
+      ++Res.Executions;
+      if (E.Completed && T.Forbidden(E.Out))
+        NoteReached(E);
+    }
+  }
+
+  Res.Passed = Res.ForbiddenReached == T.ExpectForbiddenReachable;
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Built-in suite
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+LOp ld(unsigned Var, unsigned Reg) {
+  LOp O;
+  O.K = LOp::Load;
+  O.Var = Var;
+  O.Reg = Reg;
+  return O;
+}
+LOp ldFresh(unsigned Var, unsigned Reg) {
+  LOp O;
+  O.K = LOp::LoadFresh;
+  O.Var = Var;
+  O.Reg = Reg;
+  return O;
+}
+LOp st(unsigned Var, Word V) {
+  LOp O;
+  O.K = LOp::Store;
+  O.Var = Var;
+  O.Value = V;
+  return O;
+}
+LOp fence() {
+  LOp O;
+  O.K = LOp::Fence;
+  return O;
+}
+LOp add(unsigned Var, Word V) {
+  LOp O;
+  O.K = LOp::AtomicAdd;
+  O.Var = Var;
+  O.Value = V;
+  return O;
+}
+LOp waitEq(unsigned Var, Word V) {
+  LOp O;
+  O.K = LOp::WaitEq;
+  O.Var = Var;
+  O.Value = V;
+  return O;
+}
+
+LitmusTest makeTest(std::string Name, std::string Note,
+                    std::vector<LitmusThread> Threads,
+                    std::function<bool(const LitmusOutcome &)> Forbidden,
+                    bool Reachable, unsigned NumVars = 2) {
+  LitmusTest T;
+  T.Name = std::move(Name);
+  T.Note = std::move(Note);
+  T.NumVars = NumVars;
+  T.Threads = std::move(Threads);
+  T.Forbidden = std::move(Forbidden);
+  T.ExpectForbiddenReachable = Reachable;
+  return T;
+}
+
+} // namespace
+
+std::vector<LitmusTest> wmm::builtinSuite() {
+  std::vector<LitmusTest> Suite;
+  // Variables: 0 = x/data, 1 = y/flag-or-lock.
+
+  // SB (store buffering): both threads store then load the other variable.
+  // Forbidden under SC: both loads see 0.  Store buffers reach it; a fence
+  // between the store and the load restores the SC outcome set.
+  auto SbForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[0][0] == 0 && O.Regs[1][0] == 0;
+  };
+  Suite.push_back(makeTest(
+      "sb", "store buffering, no fences: r0=r1=0 reachable",
+      {LitmusThread{{st(0, 1), ld(1, 0)}}, LitmusThread{{st(1, 1), ld(0, 0)}}},
+      SbForbidden, /*Reachable=*/true));
+  Suite.push_back(makeTest(
+      "sb+fences", "store buffering, fenced: r0=r1=0 forbidden",
+      {LitmusThread{{st(0, 1), fence(), ld(1, 0)}},
+       LitmusThread{{st(1, 1), fence(), ld(0, 0)}}},
+      SbForbidden, /*Reachable=*/false));
+
+  // MP (message passing): writer publishes data then flag; reader reads
+  // flag then data.  Forbidden: flag observed set but data stale.
+  auto MpForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[1][0] == 1 && O.Regs[1][1] == 0;
+  };
+  Suite.push_back(makeTest(
+      "mp", "message passing, no fences: flag=1 with stale data reachable",
+      {LitmusThread{{st(0, 1), st(1, 1)}},
+       LitmusThread{{ld(1, 0), ld(0, 1)}}},
+      MpForbidden, /*Reachable=*/true));
+  Suite.push_back(makeTest(
+      "mp+fences", "message passing, fenced on both sides: forbidden",
+      {LitmusThread{{st(0, 1), fence(), st(1, 1)}},
+       LitmusThread{{ld(1, 0), fence(), ld(0, 1)}}},
+      MpForbidden, /*Reachable=*/false));
+
+  // LB (load buffering): both threads load then store the other variable.
+  // Forbidden: both loads see the other's store.  Needs load-store
+  // reordering, i.e. the static hoist enumeration.
+  auto LbForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[0][0] == 1 && O.Regs[1][0] == 1;
+  };
+  Suite.push_back(makeTest(
+      "lb", "load buffering, no fences: r0=r1=1 reachable (store hoist)",
+      {LitmusThread{{ld(0, 0), st(1, 1)}}, LitmusThread{{ld(1, 0), st(0, 1)}}},
+      LbForbidden, /*Reachable=*/true));
+  Suite.push_back(makeTest(
+      "lb+fences", "load buffering, fenced: forbidden",
+      {LitmusThread{{ld(0, 0), fence(), st(1, 1)}},
+       LitmusThread{{ld(1, 0), fence(), st(0, 1)}}},
+      LbForbidden, /*Reachable=*/false));
+
+  // STM begin-fence snapshot (Algorithm 3 lines 4-5): the writer commits
+  // data and bumps the global clock (atomic); the reader loads the clock
+  // snapshot, fences, then reads data.  Dropping the reader's post-begin
+  // fence (the SkipBeginFence mutation) lets the data read bind before the
+  // commit the snapshot already proved.
+  auto BeginForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[1][0] == 1 && O.Regs[1][1] == 0;
+  };
+  Suite.push_back(makeTest(
+      "stm-begin-snapshot-nofence",
+      "snapshot read without begin fence: stale data behind a newer clock",
+      {LitmusThread{{st(0, 1), fence(), add(1, 1)}},
+       LitmusThread{{ld(1, 0), ld(0, 1)}}},
+      BeginForbidden, /*Reachable=*/true));
+  Suite.push_back(makeTest(
+      "stm-begin-snapshot",
+      "snapshot read with the line-5 fence: forbidden",
+      {LitmusThread{{st(0, 1), fence(), add(1, 1)}},
+       LitmusThread{{ld(1, 0), fence(), ld(0, 1)}}},
+      BeginForbidden, /*Reachable=*/false));
+
+  // STM write-back / version publish (Algorithm 3 lines 79-83): the
+  // committer writes back data, fences (line 82), then publishes the new
+  // even version in the lock word.  Dropping the fence (SkipPublishFence)
+  // lets the unlock overtake the write-back.
+  auto PublishForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[1][0] == 2 && O.Regs[1][1] == 0;
+  };
+  Suite.push_back(makeTest(
+      "stm-publish-nofence",
+      "unlock without the pre-release fence: version visible before data",
+      {LitmusThread{{st(0, 42), st(1, 2)}},
+       LitmusThread{{ld(1, 0), fence(), ld(0, 1)}}},
+      [](const LitmusOutcome &O) {
+        return O.Regs[1][0] == 2 && O.Regs[1][1] != 42;
+      },
+      /*Reachable=*/true));
+  Suite.push_back(makeTest(
+      "stm-publish",
+      "unlock behind the line-82 fence: forbidden",
+      {LitmusThread{{st(0, 42), fence(), st(1, 2)}},
+       LitmusThread{{ld(1, 0), fence(), ld(0, 1)}}},
+      [](const LitmusOutcome &O) {
+        return O.Regs[1][0] == 2 && O.Regs[1][1] != 42;
+      },
+      /*Reachable=*/false));
+  (void)PublishForbidden;
+
+  // CGL lock acquire (the audit's first finding): the previous holder
+  // writes data, fences, and releases the ticket lock; the acquirer spins
+  // on the serving word, then must fence before touching the data -- a
+  // bare spin-exit load may still bind stale.
+  auto CglForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[1][0] == 0;
+  };
+  Suite.push_back(makeTest(
+      "stm-lock-acquire-nofence",
+      "ticket acquire without post-acquire fence: stale critical data",
+      {LitmusThread{{st(0, 1), fence(), st(1, 1)}},
+       LitmusThread{{waitEq(1, 1), ld(0, 0)}}},
+      CglForbidden, /*Reachable=*/true));
+  Suite.push_back(makeTest(
+      "stm-lock-acquire",
+      "ticket acquire with the post-acquire fence: forbidden",
+      {LitmusThread{{st(0, 1), fence(), st(1, 1)}},
+       LitmusThread{{waitEq(1, 1), fence(), ld(0, 0)}}},
+      CglForbidden, /*Reachable=*/false));
+
+  // Validation re-reads (the audit's second finding): after observing a
+  // changed lock word, validation re-reads the data value.  A plain load
+  // may legally re-bind at its old stale point; the re-read must bypass
+  // the L1 (ThreadCtx::loadFresh) to probe current memory.
+  auto RereadForbidden = [](const LitmusOutcome &O) {
+    return O.Regs[1][1] == 2 && O.Regs[1][2] == 0;
+  };
+  LitmusTest Reread = makeTest(
+      "stm-validate-reread-plain",
+      "validation re-read as a plain load: stale value passes validation",
+      {LitmusThread{{st(0, 1), fence(), st(1, 2)}},
+       LitmusThread{{ld(0, 0), ld(1, 1), ld(0, 2)}}},
+      RereadForbidden, /*Reachable=*/true);
+  Reread.RegsPerThread = 3;
+  Suite.push_back(Reread);
+  LitmusTest RereadFresh = makeTest(
+      "stm-validate-reread-fresh",
+      "validation re-read as ld.cg: forbidden",
+      {LitmusThread{{st(0, 1), fence(), st(1, 2)}},
+       LitmusThread{{ld(0, 0), ld(1, 1), ldFresh(0, 2)}}},
+      RereadForbidden, /*Reachable=*/false);
+  RereadFresh.RegsPerThread = 3;
+  Suite.push_back(RereadFresh);
+
+  return Suite;
+}

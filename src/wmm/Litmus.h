@@ -1,0 +1,110 @@
+//===- wmm/Litmus.h - Litmus-kernel model checker ---------------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small multi-warp litmus kernels executed under the weak-memory model,
+/// checked against declared forbidden outcomes.  Each litmus thread is a
+/// declarative op list (load/store/fence/atomic/spin-wait) run as its own
+/// one-thread block, so threads occupy distinct warps and SMs.
+///
+/// Exploration is stateless model checking in the GPUMC style: the model's
+/// oracle consultations form a deterministic choice tree, enumerated
+/// depth-first with a ScriptedOracle for tiny state spaces (an execution
+/// budget bounds the sweep) and sampled with seeded RandomOracles beyond.
+/// Load-store reordering (the LB shape) cannot arise operationally from
+/// store buffers + stale bindings, so the runner additionally enumerates
+/// static hoists: an independent store swapped ahead of the immediately
+/// preceding load, never across a fence.
+///
+/// A test PASSES when reachability of its forbidden outcome matches the
+/// declared expectation; reachable outcomes carry the minimal reordering
+/// witness found (fewest deviations over all reaching executions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WMM_LITMUS_H
+#define GPUSTM_WMM_LITMUS_H
+
+#include "wmm/MemModel.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace wmm {
+
+/// One declarative litmus operation.
+struct LOp {
+  enum Kind : uint8_t {
+    Load,      ///< Reg = plain load of Var.
+    LoadFresh, ///< Reg = L1-bypassing load of Var (ThreadCtx::loadFresh).
+    Store,     ///< Var = Value (plain store).
+    Fence,     ///< threadfence().
+    AtomicAdd, ///< Reg = old Var; Var += Value.
+    WaitEq     ///< Spin (memWait-assisted) until Var == Value.
+  };
+  Kind K = Load;
+  unsigned Var = 0;
+  simt::Word Value = 0;
+  unsigned Reg = ~0u; ///< Destination register; ~0u discards the result.
+};
+
+struct LitmusThread {
+  std::vector<LOp> Ops;
+};
+
+/// Final registers of every thread plus final memory, after all buffers
+/// drained.
+struct LitmusOutcome {
+  std::vector<std::vector<simt::Word>> Regs; ///< [thread][reg]
+  std::vector<simt::Word> FinalMem;          ///< [var]
+};
+
+struct LitmusTest {
+  std::string Name;
+  std::string Note; ///< One-line description for the tool listing.
+  unsigned NumVars = 2;
+  unsigned RegsPerThread = 2;
+  std::vector<LitmusThread> Threads;
+  /// The forbidden-outcome predicate.
+  std::function<bool(const LitmusOutcome &)> Forbidden;
+  /// Whether weak-memory exploration is expected to reach it.
+  bool ExpectForbiddenReachable = false;
+};
+
+struct LitmusRunOptions {
+  uint64_t Seed = 1;
+  unsigned StoreBufferCap = 8;
+  /// DFS execution budget; the sweep is exhaustive when the whole choice
+  /// tree fits.
+  unsigned MaxExecutions = 20000;
+  /// Seeded random executions appended when the DFS was truncated.
+  unsigned RandomExecutions = 2000;
+};
+
+struct LitmusResult {
+  bool Passed = false;           ///< Reachability matched the expectation.
+  bool ForbiddenReached = false;
+  bool Exhaustive = false;       ///< DFS covered the whole choice tree.
+  unsigned Executions = 0;
+  /// Minimal-deviation reaching execution (empty unless reached).
+  std::vector<Deviation> Witness;
+  std::string WitnessText;
+};
+
+/// Explore \p T under the weak-memory model.
+LitmusResult runLitmus(const LitmusTest &T, const LitmusRunOptions &O);
+
+/// The built-in suite: classic SB/MP/LB shapes and GPU-STM protocol
+/// fragments (begin-fence snapshot, write-back/version publish, CGL
+/// lock-acquire, validation re-reads), each with and without its fences.
+std::vector<LitmusTest> builtinSuite();
+
+} // namespace wmm
+} // namespace gpustm
+
+#endif // GPUSTM_WMM_LITMUS_H

@@ -1,0 +1,376 @@
+//===- wmm/MemModel.cpp - Weak-memory simulation model --------------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wmm/MemModel.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpustm;
+using namespace gpustm::wmm;
+using simt::Addr;
+using simt::Word;
+
+unsigned RandomOracle::choose(Choice Kind, const DevKey &Key,
+                              unsigned Fanout) {
+  if (Fanout <= 1)
+    return 0;
+  // Pure function of (seed, lane, lane-op, kind): replays are exact.
+  uint64_t State = Seed ^ (uint64_t(Key.Lane) << 40) ^
+                   (Key.LaneOp * 0x9e3779b97f4a7c15ULL) ^
+                   (uint64_t(static_cast<uint8_t>(Kind)) << 56);
+  uint64_t H = splitMix64(State);
+  if (H & 1)
+    return 0;
+  return 1 + static_cast<unsigned>((H >> 1) % (Fanout - 1));
+}
+
+unsigned ScriptedOracle::choose(Choice Kind, const DevKey &Key,
+                                unsigned Fanout) {
+  (void)Kind;
+  (void)Key;
+  Fanouts.push_back(Fanout);
+  if (Next >= Script.size())
+    return 0;
+  unsigned Pick = Script[Next++];
+  return Pick < Fanout ? Pick : 0;
+}
+
+MemModel::MemModel(const WmmConfig &C)
+    : Cfg(C), DefaultOrc(C.Seed), Orc(&DefaultOrc) {
+  if (Cfg.StoreBufferCap > 64)
+    Cfg.StoreBufferCap = 64;
+  if (Cfg.HistoryDepth == 0)
+    Cfg.HistoryDepth = 1;
+}
+
+void MemModel::setReplayFilter(const std::vector<DevKey> &AllowedKeys) {
+  FilterActive = true;
+  Allowed.clear();
+  Allowed.insert(AllowedKeys.begin(), AllowedKeys.end());
+}
+
+void MemModel::clearReplayFilter() {
+  FilterActive = false;
+  Allowed.clear();
+}
+
+void MemModel::beginLaunch(simt::Memory &M, unsigned NumLanes,
+                           std::function<void(Addr, Word)> DrainSink) {
+  Mem = &M;
+  Sink = std::move(DrainSink);
+  Seq = 0;
+  TickCount = 0;
+  History.clear();
+  Lanes.assign(NumLanes, LaneState());
+  DirtyLanes.clear();
+  Devs.clear();
+  St = WmmStats();
+}
+
+void MemModel::endLaunch() {
+  // laneFinished() already drained every exiting lane; this catches lanes
+  // that never ran (watchdog/deadlock aborts) so host reads are coherent.
+  drainAllPending();
+}
+
+unsigned MemModel::consult(Choice Kind, const DevKey &Key, unsigned Fanout) {
+  if (Fanout <= 1)
+    return 0;
+  if (FilterActive && Allowed.count(Key) == 0)
+    return 0;
+  return Orc->choose(Kind, Key, Fanout);
+}
+
+void MemModel::recordWrite(Addr A, Word V) {
+  auto &H = History[A];
+  // Lazy seeding: the pre-write value (host-initialized or from an earlier
+  // launch) becomes the oldest binding candidate.
+  if (H.empty())
+    H.push_back(HistEntry{0, Mem->load(A)});
+  ++Seq;
+  H.push_back(HistEntry{Seq, V});
+  if (H.size() > Cfg.HistoryDepth + 1) {
+    // Drop the oldest entry; tiny vector, the shift is cheap.
+    for (size_t I = 0; I + 1 < H.size(); ++I)
+      H[I] = H[I + 1];
+    H.pop_back();
+  }
+}
+
+void MemModel::bind(LaneState &L, Addr A, uint64_t BindSeq) {
+  L.LastBind[A] = BindSeq;
+  L.MaxBinding = std::max(L.MaxBinding, BindSeq);
+}
+
+void MemModel::markDirty(unsigned LaneIdx) {
+  for (unsigned D : DirtyLanes)
+    if (D == LaneIdx)
+      return;
+  DirtyLanes.push_back(LaneIdx);
+}
+
+void MemModel::drainEntry(unsigned LaneIdx, size_t Idx) {
+  LaneState &L = Lanes[LaneIdx];
+  assert(Idx < L.Buf.size() && "drain index out of range");
+  BufEntry E = L.Buf[Idx];
+  for (size_t I = Idx; I + 1 < L.Buf.size(); ++I)
+    L.Buf[I] = L.Buf[I + 1];
+  L.Buf.pop_back();
+  recordWrite(E.A, E.V);
+  // The draining lane has now observed its own store reaching memory.
+  bind(L, E.A, Seq);
+  ++St.Drains;
+  Sink(E.A, E.V);
+}
+
+void MemModel::drainLaneFifo(unsigned LaneIdx) {
+  LaneState &L = Lanes[LaneIdx];
+  while (!L.Buf.empty())
+    drainEntry(LaneIdx, 0);
+}
+
+Word MemModel::load(unsigned Lane, Addr A) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  // Store-to-load forwarding: a lane always sees its own latest store
+  // (same-address entries coalesce, so at most one matches).
+  for (const BufEntry &E : L.Buf)
+    if (E.A == A)
+      return E.V;
+  Word Fresh = Mem->load(A);
+  auto It = History.find(A);
+  if (It == History.end()) {
+    // No recorded write: the value is constant over any window.
+    bind(L, A, Seq);
+    return Fresh;
+  }
+  const auto &H = It->second;
+  uint64_t Lo = L.Floor;
+  auto LB = L.LastBind.find(A);
+  if (LB != L.LastBind.end())
+    Lo = std::max(Lo, LB->second);
+  if (Seq > Cfg.BindHorizon)
+    Lo = std::max(Lo, Seq - Cfg.BindHorizon);
+  // Candidate bindings, newest first.  Entry I is valid over
+  // [H[I].Seq, H[I+1].Seq) (the newest entry up to "now"); it is a
+  // candidate when that interval intersects [Lo, Seq].  Identical values
+  // dedupe to the newest occurrence (indistinguishable outcomes collapse,
+  // which keeps litmus enumeration small).
+  struct Candidate {
+    uint64_t BindSeq;
+    Word Value;
+  };
+  SmallVector<Candidate, 8> Cands;
+  for (size_t I = H.size(); I-- > 0;) {
+    uint64_t ValidFrom = H[I].Seq;
+    uint64_t ValidTo = I + 1 < H.size() ? H[I + 1].Seq : ~0ull;
+    if (ValidTo <= Lo) // Entirely before the window: stop (sorted).
+      break;
+    uint64_t BindSeq = std::max(ValidFrom, Lo);
+    bool Dup = false;
+    for (const Candidate &C : Cands)
+      if (C.Value == H[I].Value) {
+        Dup = true;
+        break;
+      }
+    if (!Dup)
+      Cands.push_back(Candidate{BindSeq, H[I].Value});
+  }
+  if (Cands.empty()) // History window entirely evicted: fall back fresh.
+    Cands.push_back(Candidate{Seq, Fresh});
+  DevKey Key{Lane, L.OpCount};
+  unsigned Pick = 0;
+  if (Cands.size() > 1)
+    Pick = consult(Choice::LoadBinding, Key,
+                   static_cast<unsigned>(Cands.size()));
+  const Candidate &C = Cands[Pick];
+  if (Pick != 0) {
+    ++St.StaleLoads;
+    Devs.push_back(Deviation{DeviationKind::StaleLoad, Key, A, C.Value,
+                             Fresh, C.BindSeq, Seq});
+  }
+  bind(L, A, C.BindSeq);
+  return C.Value;
+}
+
+Word MemModel::loadFresh(unsigned Lane, Addr A) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  for (const BufEntry &E : L.Buf)
+    if (E.A == A)
+      return E.V;
+  bind(L, A, Seq);
+  return Mem->load(A);
+}
+
+bool MemModel::store(unsigned Lane, Addr A, Word V) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  // Same-address coalescing preserves per-address program order and keeps
+  // at most one buffered value per address.
+  for (BufEntry &E : L.Buf)
+    if (E.A == A) {
+      E.V = V;
+      return true;
+    }
+  if (Cfg.StoreBufferCap == 0) {
+    recordWrite(A, V);
+    bind(L, A, Seq); // The lane observed its own write reach memory.
+    return false;
+  }
+  DevKey Key{Lane, L.OpCount};
+  if (consult(Choice::StoreBuffering, Key, 2) == 0) {
+    recordWrite(A, V);
+    bind(L, A, Seq);
+    return false;
+  }
+  if (L.Buf.size() >= Cfg.StoreBufferCap) {
+    // Capacity eviction: the oracle may drain out of program order, which
+    // is how store-store reordering becomes visible.
+    unsigned Victim = consult(Choice::DrainVictim, Key,
+                              static_cast<unsigned>(L.Buf.size()));
+    if (Victim != 0) {
+      ++St.ReorderedDrains;
+      Devs.push_back(Deviation{DeviationKind::ReorderedDrain, Key,
+                               L.Buf[Victim].A, L.Buf[Victim].V,
+                               Mem->load(L.Buf[Victim].A), Seq, Seq});
+    }
+    drainEntry(Lane, Victim);
+  }
+  ++St.DelayedStores;
+  Devs.push_back(Deviation{DeviationKind::DelayedStore, Key, A, V,
+                           Mem->load(A), Seq, Seq});
+  L.Buf.push_back(BufEntry{A, V, Seq, TickCount});
+  markDirty(Lane);
+  return true;
+}
+
+void MemModel::preAtomic(unsigned Lane, Addr A) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  // The RMW must see the lane's own buffered store to the same address.
+  for (size_t I = 0; I < L.Buf.size(); ++I)
+    if (L.Buf[I].A == A) {
+      drainEntry(Lane, I);
+      break;
+    }
+  // Seed history with the pre-RMW value while it is still readable.
+  auto &H = History[A];
+  if (H.empty())
+    H.push_back(HistEntry{0, Mem->load(A)});
+}
+
+void MemModel::postAtomic(unsigned Lane, Addr A) {
+  // The RMW already landed; record its result as a write event and bind
+  // the lane fresh (atomics are globally ordered on the target hardware).
+  LaneState &L = lane(Lane);
+  ++Seq;
+  auto &H = History[A];
+  H.push_back(HistEntry{Seq, Mem->load(A)});
+  if (H.size() > Cfg.HistoryDepth + 1) {
+    for (size_t I = 0; I + 1 < H.size(); ++I)
+      H[I] = H[I + 1];
+    H.pop_back();
+  }
+  bind(L, A, Seq);
+}
+
+void MemModel::fence(unsigned Lane) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  // A fence makes the lane's own prior stores visible (drain, in program
+  // order: the fence is exactly the point where order is guaranteed) ...
+  drainLaneFifo(Lane);
+  // ... and orders the lane's observations: nothing the lane reads after
+  // the fence may bind before anything it observed before it.  It does
+  // NOT force future loads to be fresh: freshness only comes from
+  // atomics, memWait, or ld.cg-style loads.
+  L.Floor = std::max(L.Floor, L.MaxBinding);
+}
+
+void MemModel::barrierArrive(unsigned Lane) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  drainLaneFifo(Lane);
+  L.Floor = std::max(L.Floor, L.MaxBinding);
+}
+
+void MemModel::syncPoint(unsigned FirstLane, unsigned Count) {
+  // Barrier release: every participant drained at arrival, so "now" is
+  // after every pre-barrier store; floors move there so post-barrier
+  // loads cannot bind before them.
+  for (unsigned I = 0; I < Count && FirstLane + I < Lanes.size(); ++I) {
+    LaneState &L = Lanes[FirstLane + I];
+    L.Floor = std::max(L.Floor, Seq);
+    L.MaxBinding = std::max(L.MaxBinding, Seq);
+  }
+}
+
+void MemModel::observeFresh(unsigned Lane, Addr A) {
+  LaneState &L = lane(Lane);
+  ++L.OpCount;
+  for (size_t I = 0; I < L.Buf.size(); ++I)
+    if (L.Buf[I].A == A) {
+      drainEntry(Lane, I);
+      break;
+    }
+  bind(L, A, Seq);
+}
+
+void MemModel::laneFinished(unsigned Lane) {
+  LaneState &L = lane(Lane);
+  while (!L.Buf.empty()) {
+    DevKey Key{Lane, ++L.OpCount};
+    unsigned Victim = consult(Choice::DrainVictim, Key,
+                              static_cast<unsigned>(L.Buf.size()));
+    if (Victim != 0) {
+      ++St.ReorderedDrains;
+      Devs.push_back(Deviation{DeviationKind::ReorderedDrain, Key,
+                               L.Buf[Victim].A, L.Buf[Victim].V,
+                               Mem->load(L.Buf[Victim].A), Seq, Seq});
+    }
+    drainEntry(Lane, Victim);
+  }
+}
+
+void MemModel::tick() {
+  ++TickCount;
+  if (DirtyLanes.empty())
+    return;
+  size_t Keep = 0;
+  for (size_t I = 0; I < DirtyLanes.size(); ++I) {
+    unsigned LaneIdx = DirtyLanes[I];
+    LaneState &L = Lanes[LaneIdx];
+    // Oldest entries sit at the front after FIFO drains; age the front
+    // until it is young enough (program order, so no deviation).  Aging
+    // is both write-event-based (spin liveness under heavy traffic) and
+    // sweep-count-based (bounded residence even when the write-event
+    // clock freezes because everyone waits on the buffered value).
+    while (!L.Buf.empty() &&
+           ((Seq >= L.Buf[0].Seq && Seq - L.Buf[0].Seq > Cfg.MaxStoreAge) ||
+            TickCount - L.Buf[0].Tick > Cfg.MaxStoreAgeTicks)) {
+      drainEntry(LaneIdx, 0);
+      ++St.ForcedDrains;
+    }
+    if (!L.Buf.empty())
+      DirtyLanes[Keep++] = LaneIdx;
+  }
+  DirtyLanes.resize(Keep);
+}
+
+bool MemModel::drainAllPending() {
+  bool Any = false;
+  for (unsigned LaneIdx = 0; LaneIdx < Lanes.size(); ++LaneIdx)
+    if (!Lanes[LaneIdx].Buf.empty()) {
+      drainLaneFifo(LaneIdx);
+      St.ForcedDrains += 1;
+      Any = true;
+    }
+  DirtyLanes.clear();
+  return Any;
+}

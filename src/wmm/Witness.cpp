@@ -1,0 +1,103 @@
+//===- wmm/Witness.cpp - Reordering witness shrinking/printing ------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "wmm/Witness.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace gpustm;
+using namespace gpustm::wmm;
+
+std::string wmm::formatDeviation(const Deviation &D) {
+  const char *Kind = "?";
+  switch (D.Kind) {
+  case DeviationKind::StaleLoad:
+    Kind = "stale-load";
+    break;
+  case DeviationKind::DelayedStore:
+    Kind = "delayed-store";
+    break;
+  case DeviationKind::ReorderedDrain:
+    Kind = "reordered-drain";
+    break;
+  case DeviationKind::HoistedStore:
+    Kind = "hoisted-store";
+    break;
+  }
+  return formatString(
+      "%-15s lane %u op %llu: [0x%x] value %u (fresh %u), bound %llu @ "
+      "now %llu",
+      Kind, D.Key.Lane, static_cast<unsigned long long>(D.Key.LaneOp),
+      D.Address, D.UsedValue, D.FreshValue,
+      static_cast<unsigned long long>(D.BindSeq),
+      static_cast<unsigned long long>(D.NowSeq));
+}
+
+std::string wmm::formatWitness(const std::vector<Deviation> &Devs) {
+  std::string Out = formatString("reordering witness (%zu deviation%s):\n",
+                                 Devs.size(), Devs.size() == 1 ? "" : "s");
+  for (const Deviation &D : Devs) {
+    Out += "  ";
+    Out += formatDeviation(D);
+    Out += "\n";
+  }
+  return Out;
+}
+
+static std::vector<DevKey> keysOf(const std::vector<Deviation> &Devs) {
+  std::vector<DevKey> Keys;
+  Keys.reserve(Devs.size());
+  for (const Deviation &D : Devs)
+    Keys.push_back(D.Key);
+  return Keys;
+}
+
+std::vector<Deviation> wmm::minimizeWitness(
+    const std::vector<Deviation> &Initial,
+    function_ref<bool(const std::vector<DevKey> &, std::vector<Deviation> &)>
+        StillFails,
+    unsigned MaxEvals) {
+  std::vector<Deviation> Best = Initial;
+  std::vector<DevKey> Keys = keysOf(Initial);
+  unsigned Evals = 0;
+  // Classic ddmin: try dropping chunks (test the complement of each
+  // chunk); on success restart with finer granularity capped at singleton
+  // chunks.  The replay's own taken-deviation list replaces the allowed
+  // set after every successful reduction, so keys that replay never
+  // exercises disappear for free.
+  size_t Chunks = 2;
+  while (Keys.size() > 1 && Chunks <= Keys.size() && Evals < MaxEvals) {
+    bool Reduced = false;
+    size_t ChunkLen = (Keys.size() + Chunks - 1) / Chunks;
+    for (size_t C = 0; C < Chunks && Evals < MaxEvals; ++C) {
+      size_t Lo = C * ChunkLen;
+      if (Lo >= Keys.size())
+        break;
+      size_t Hi = std::min(Keys.size(), Lo + ChunkLen);
+      std::vector<DevKey> Complement;
+      Complement.reserve(Keys.size() - (Hi - Lo));
+      for (size_t I = 0; I < Keys.size(); ++I)
+        if (I < Lo || I >= Hi)
+          Complement.push_back(Keys[I]);
+      std::vector<Deviation> Taken;
+      ++Evals;
+      if (StillFails(Complement, Taken) && Taken.size() < Best.size()) {
+        Best = Taken;
+        Keys = keysOf(Taken);
+        Chunks = std::max<size_t>(2, Chunks - 1);
+        Reduced = true;
+        break;
+      }
+    }
+    if (!Reduced) {
+      if (Chunks >= Keys.size())
+        break;
+      Chunks = std::min(Keys.size(), Chunks * 2);
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,52 @@
+//===- wmm/Witness.h - Reordering witness shrinking/printing ----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a failing weak-memory run's deviation log into a minimal,
+/// human-readable reordering witness.  Minimization is delta debugging
+/// (ddmin) over the *allowed-deviation* set: re-run the program with the
+/// model's replay filter restricted to a candidate subset and keep the
+/// subset while the failure reproduces.  The final witness is the list of
+/// deviations actually taken by the last failing replay (usually smaller
+/// than the allowed set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WMM_WITNESS_H
+#define GPUSTM_WMM_WITNESS_H
+
+#include "support/FunctionRef.h"
+#include "wmm/MemModel.h"
+
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace wmm {
+
+/// One line per deviation, e.g.
+///   "stale-load  lane 3 op 41: [0x1a4] read 0 (fresh 7), bound 12 @ now 19".
+std::string formatDeviation(const Deviation &D);
+
+/// Multi-line witness: header plus one formatted line per deviation.
+std::string formatWitness(const std::vector<Deviation> &Devs);
+
+/// ddmin over allowed-deviation keys.  \p StillFails re-runs the program
+/// with the given allowed set and returns the deviations the replay
+/// actually took when it still failed (empty optional-style: a false
+/// return means the failure vanished).  At most \p MaxEvals re-runs.
+/// Returns the deviations of the smallest failing replay found (the
+/// unshrunk \p Initial if nothing smaller reproduces).
+std::vector<Deviation> minimizeWitness(
+    const std::vector<Deviation> &Initial,
+    function_ref<bool(const std::vector<DevKey> &, std::vector<Deviation> &)>
+        StillFails,
+    unsigned MaxEvals = 64);
+
+} // namespace wmm
+} // namespace gpustm
+
+#endif // GPUSTM_WMM_WITNESS_H

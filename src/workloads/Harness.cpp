@@ -12,6 +12,7 @@
 #include "support/MathExtras.h"
 #include "trace/Recorder.h"
 #include "trace/TraceIO.h"
+#include "wmm/MemModel.h"
 
 #include <algorithm>
 #include <chrono>
@@ -149,6 +150,23 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     });
   }
 #endif
+
+  // Weak-memory mode: a caller-owned model wins; otherwise GPUSTM_WMM=1
+  // makes the harness own one for this run.  The device itself refuses the
+  // combination with trace/simtsan observers (SC execution wins, with a
+  // warning), so attaching unconditionally here is safe.
+  wmm::MemModel *Wmm = Config.Wmm;
+  std::unique_ptr<wmm::MemModel> OwnedWmm;
+  if (!Wmm && envBool("GPUSTM_WMM", false)) {
+    wmm::WmmConfig WC;
+    WC.Seed = envUnsignedInRange("GPUSTM_WMM_SEED", 1, 0, ~0ull);
+    WC.StoreBufferCap = static_cast<unsigned>(
+        envUnsignedInRange("GPUSTM_WMM_BUFFER", 8, 0, 64));
+    OwnedWmm = std::make_unique<wmm::MemModel>(WC);
+    Wmm = OwnedWmm.get();
+  }
+  if (Wmm)
+    Dev.setWmmModel(Wmm);
 
   W.setup(Dev);
   StmRuntime Stm(Dev, SC, Max);

@@ -26,6 +26,9 @@ namespace gpustm {
 namespace trace {
 class TxTraceRecorder;
 } // namespace trace
+namespace wmm {
+class MemModel;
+} // namespace wmm
 
 namespace workloads {
 
@@ -67,6 +70,12 @@ struct HarnessConfig {
   /// same ".N" multi-run suffixing as traces).  Detection never changes
   /// modeled results.
   simt::SanHooks *San = nullptr;
+  /// Caller-owned weak-memory model (src/wmm/): when set, the harness
+  /// attaches it to the device for the whole run.  When unset, GPUSTM_WMM=1
+  /// makes the harness construct one seeded by GPUSTM_WMM_SEED with store
+  /// buffers of GPUSTM_WMM_BUFFER entries.  Mutually exclusive with trace
+  /// recording and simtsan (the device warns and keeps SC execution).
+  wmm::MemModel *Wmm = nullptr;
 };
 
 /// Harness measurements.

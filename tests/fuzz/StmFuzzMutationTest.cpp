@@ -103,16 +103,53 @@ TEST(StmFuzzMutationTest, DetectsDisabledLockSorting) {
   EXPECT_NE(detectWithin(O, 60), ~0ull);
 }
 
-TEST(StmFuzzMutationTest, BeginFenceEscapeIsDocumented) {
-  // The known escape: the simulator's memory is sequentially consistent,
-  // so dropping the post-begin threadfence is functionally invisible (it
-  // only costs modeled cycles).  Assert it indeed escapes -- if this test
-  // ever fails, the simulator grew a weaker memory model and the fault
-  // should move to the detected list.
+/// Fence-elision faults are invisible under the simulator's sequentially
+/// consistent memory; they only become observable under the weak-memory
+/// model (GPUSTM_WMM=1 / FuzzOptions::Wmm), where an under-fenced
+/// protocol can bind stale values from per-lane store buffers.
+FuzzOptions wmmMutant(stm::Variant V) {
+  FuzzOptions O = mutant(V);
+  O.TraceSamplePeriod = 0;
+  O.Wmm = true;
+  return O;
+}
+
+TEST(StmFuzzMutationTest, SkipBeginFenceEscapesUnderSC) {
+  // Dropping the post-begin threadfence is functionally invisible while
+  // memory stays sequentially consistent (it only costs modeled cycles);
+  // the detection claim lives in DetectsSkipBeginFenceUnderWmm below.
   FuzzOptions O = mutant(stm::Variant::HVSorting);
   O.TraceSamplePeriod = 0;
   O.Faults.SkipBeginFence = true;
   EXPECT_EQ(detectWithin(O, 15), ~0ull);
+}
+
+/// Every weak-memory detection must come with a minimal reordering
+/// witness -- the shrunk set of stale/delayed effects that reproduce it.
+void expectWmmWitness(const FuzzOptions &O, uint64_t Seed) {
+  SeedResult R = runSeed(Seed, O);
+  ASSERT_FALSE(R.Passed);
+  bool SawWitness = false;
+  for (const VariantOutcome &V : R.Outcomes)
+    if (!V.Passed && !V.WmmWitness.empty())
+      SawWitness = true;
+  EXPECT_TRUE(SawWitness) << R.failureSummary();
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipBeginFenceUnderWmm) {
+  FuzzOptions O = wmmMutant(stm::Variant::HVSorting);
+  O.Faults.SkipBeginFence = true;
+  uint64_t Seed = detectWithin(O, 60);
+  ASSERT_NE(Seed, ~0ull);
+  expectWmmWitness(O, Seed);
+}
+
+TEST(StmFuzzMutationTest, DetectsSkipPublishFenceUnderWmm) {
+  FuzzOptions O = wmmMutant(stm::Variant::HVSorting);
+  O.Faults.SkipPublishFence = true;
+  uint64_t Seed = detectWithin(O, 60);
+  ASSERT_NE(Seed, ~0ull);
+  expectWmmWitness(O, Seed);
 }
 
 } // namespace

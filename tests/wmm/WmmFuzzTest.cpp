@@ -1,0 +1,58 @@
+//===- tests/wmm/WmmFuzzTest.cpp - Clean protocols survive weak memory ----===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+// The flip side of the mutation tests: with no fault injected, every STM
+// variant must pass the differential fuzzer *under the weak-memory model*.
+// The protocols carry exactly the fences Algorithm 3 prescribes, so stale
+// bindings and delayed stores may occur (and do -- the model is not
+// vacuous) without ever corrupting a result or stalling a run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpustm;
+using namespace gpustm::fuzz;
+
+namespace {
+
+TEST(WmmFuzzTest, CleanProtocolsPassUnderWeakMemory) {
+  FuzzOptions O;
+  O.Wmm = true;
+  O.TraceSamplePeriod = 0;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    SeedResult R = runSeed(Seed, O);
+    EXPECT_TRUE(R.Passed) << R.failureSummary();
+  }
+}
+
+TEST(WmmFuzzTest, WeakMemoryRunsAreSeedDeterministic) {
+  FuzzOptions O;
+  O.Wmm = true;
+  O.TraceSamplePeriod = 0;
+  O.WmmSeed = 7;
+  SeedResult A = runSeed(3, O);
+  SeedResult B = runSeed(3, O);
+  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size());
+  EXPECT_EQ(A.combinedDigest(), B.combinedDigest());
+}
+
+TEST(WmmFuzzTest, DifferentOracleSeedsExploreDifferentSchedules) {
+  // Not a correctness requirement for any single seed pair, but if every
+  // oracle seed produced identical digests the model would be inert; probe
+  // a few pairs and require at least one divergence.
+  FuzzOptions A, B;
+  A.Wmm = B.Wmm = true;
+  A.TraceSamplePeriod = B.TraceSamplePeriod = 0;
+  B.WmmSeed = 99;
+  bool AnyDiffer = false;
+  for (uint64_t Seed = 0; Seed < 5 && !AnyDiffer; ++Seed)
+    AnyDiffer = runSeed(Seed, A).combinedDigest() !=
+                runSeed(Seed, B).combinedDigest();
+  EXPECT_TRUE(AnyDiffer);
+}
+
+} // namespace

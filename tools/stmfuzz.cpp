@@ -39,13 +39,16 @@ int usage(const char *Argv0) {
       "       [--jobs N] [--device-jobs N] [--watchdog N] [--digest-out F]\n"
       "       [--repro-out F] [--no-shrink] [--max-failures N]\n"
       "       [--check-determinism] [--check-jobs]\n"
+      "       [--wmm] [--wmm-seed N] [--wmm-buffer N]\n"
       "      Fuzz seeds S..S+N-1 (default 0..499) under every requested\n"
       "      variant (default: all seven), checking each run against the\n"
       "      sequential oracle and trace-checking every --trace-sample'th\n"
       "      seed.  On failure, greedily shrinks the first failing seed and\n"
       "      prints a standalone regression test.  --digest-out writes one\n"
       "      'seed digest' line per seed for cross-process determinism\n"
-      "      diffs (e.g. GPUSTM_DEVICE_JOBS=1 vs =4 in CI).\n"
+      "      diffs (e.g. GPUSTM_DEVICE_JOBS=1 vs =4 in CI).  --wmm runs\n"
+      "      every variant under the weak-memory model (src/wmm/); on\n"
+      "      failure the minimal reordering witness is printed.\n"
       "  one <seed> [run options]\n"
       "      Run a single seed and print every variant's outcome.\n"
       "  repro <seed> [run options]\n"
@@ -173,6 +176,19 @@ int parseRunFlag(Args &A, const std::string &Arg, RunOptions &R) {
     R.Fuzz.CheckDeterminism = true;
   } else if (Arg == "--check-jobs") {
     R.Fuzz.CheckJobsInvariance = true;
+  } else if (Arg == "--wmm") {
+    R.Fuzz.Wmm = true;
+  } else if (Arg == "--wmm-seed") {
+    if (!A.value("--wmm-seed", Val))
+      return 2;
+    R.Fuzz.WmmSeed = std::strtoull(Val.c_str(), nullptr, 10);
+    R.Fuzz.Wmm = true;
+  } else if (Arg == "--wmm-buffer") {
+    if (!A.value("--wmm-buffer", Val))
+      return 2;
+    R.Fuzz.WmmBuffer =
+        static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+    R.Fuzz.Wmm = true;
   } else {
     return -1;
   }
