@@ -1,0 +1,202 @@
+//===- analysis/static/Footprint.h - Schedule-free access summaries -*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sealed replay context for pre-launch static analysis (stmlint).  A
+/// workload "pre-executes" each kernel's task bodies exactly once into a
+/// FootprintCtx -- no scheduler, no concurrency, no device mutation -- and
+/// the context summarizes every transactional and native access into
+/// per-task, per-transaction AccessRange lists.  Exact addresses stay
+/// exact; data-dependent indexing is widened to an interval with a
+/// worst-case distinct-access count, so downstream checks (capacity,
+/// striping, isolation, ordering, conflict density) stay sound.
+///
+/// Ranges carry a Channel so a workload can model two different
+/// worst-cases at once: CapacityOnly ranges feed the log-capacity bound
+/// (e.g. a hash probe's longest possible run over the *final* table),
+/// while ConflictOnly ranges feed conflict/isolation prediction (e.g. the
+/// representative probe sequence of an incremental replay).  Both is the
+/// common case and feeds every check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_ANALYSIS_STATIC_FOOTPRINT_H
+#define GPUSTM_ANALYSIS_STATIC_FOOTPRINT_H
+
+#include "simt/Device.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gpustm {
+namespace staticlint {
+
+/// Which checks an AccessRange participates in (see file comment).
+enum class Channel : uint8_t {
+  Both,         ///< Capacity and conflict/isolation checks.
+  CapacityOnly, ///< Worst-case log sizing only.
+  ConflictOnly, ///< Representative footprint for conflict/isolation only.
+};
+
+/// One summarized access: \p Count worst-case distinct word accesses
+/// within the \p Len-word interval starting at \p Base.  Exact accesses
+/// have Len == Count == 1 and Widened == false.
+struct AccessRange {
+  simt::Addr Base = 0;
+  uint32_t Len = 1;
+  uint32_t Count = 1;
+  bool Read = false;
+  bool Write = false;
+  bool Widened = false;
+  Channel Chan = Channel::Both;
+};
+
+/// Accesses of one transaction, in encounter order (order matters for the
+/// read-log own-write elision and the sorted-acquire check).
+struct TxFootprint {
+  std::vector<AccessRange> Accesses;
+};
+
+/// Everything one task touches: its transactions plus the native
+/// (non-transactional) accesses issued around them.
+struct TaskFootprint {
+  unsigned Task = 0;
+  unsigned Thread = 0; ///< Simulated global thread id the harness maps to.
+  std::vector<TxFootprint> Txs;
+  std::vector<AccessRange> Native;
+};
+
+/// The per-kernel AccessSummary stmlint checks operate on.
+struct KernelSummary {
+  unsigned Kernel = 0;
+  simt::LaunchConfig Launch;
+  /// True when only thread 0 of each block runs transactions (labyrinth's
+  /// shape, and every kernel under STM-EGPGV).
+  bool BlockLevel = false;
+  unsigned NumTasks = 0;
+  std::vector<TaskFootprint> Tasks;
+};
+
+/// The sealed replay context (see file comment).  Usage:
+///   FootprintCtx Ctx(K, Launch, BlockLevel, NumTasks);
+///   for each task: beginTask, [native*], txBegin, tx accesses, txEnd...
+///   KernelSummary S = Ctx.take();
+class FootprintCtx {
+public:
+  FootprintCtx(unsigned Kernel, const simt::LaunchConfig &Launch,
+               bool BlockLevel, unsigned NumTasks) {
+    S.Kernel = Kernel;
+    S.Launch = Launch;
+    S.BlockLevel = BlockLevel;
+    S.NumTasks = NumTasks;
+    S.Tasks.reserve(NumTasks);
+  }
+
+  unsigned numTasks() const { return S.NumTasks; }
+
+  /// The global thread id the harness assigns task \p Task to -- the same
+  /// striding runWorkload uses, so thread-dependent addressing (e.g.
+  /// EigenBench's mild array) replays exactly.
+  unsigned threadForTask(unsigned Task) const {
+    if (S.BlockLevel)
+      return (Task % S.Launch.GridDim) * S.Launch.BlockDim;
+    return Task % S.Launch.totalThreads();
+  }
+
+  void beginTask(unsigned Task) {
+    S.Tasks.emplace_back();
+    Cur = &S.Tasks.back();
+    Cur->Task = Task;
+    Cur->Thread = threadForTask(Task);
+    InTx = false;
+  }
+
+  void txBegin() {
+    Cur->Txs.emplace_back();
+    InTx = true;
+  }
+
+  void txEnd() { InTx = false; }
+
+  void txRead(simt::Addr A, Channel C = Channel::Both) {
+    record(A, 1, 1, true, false, false, C);
+  }
+
+  void txWrite(simt::Addr A, Channel C = Channel::Both) {
+    record(A, 1, 1, false, true, false, C);
+  }
+
+  /// Widened transactional read: up to \p Count distinct words somewhere
+  /// in [\p Base, \p Base + \p Len).
+  void txReadRange(simt::Addr Base, uint32_t Len, uint32_t Count,
+                   Channel C = Channel::Both) {
+    record(Base, Len, Count, true, false, true, C);
+  }
+
+  void txWriteRange(simt::Addr Base, uint32_t Len, uint32_t Count,
+                    Channel C = Channel::Both) {
+    record(Base, Len, Count, false, true, true, C);
+  }
+
+  /// Widened read-modify-write: \p Count unknown words each read then
+  /// written.  One range (not a read plus a write) so the lock-log bound
+  /// charges each word's stripe once, as the runtime's dedup does.
+  void txRmwRange(simt::Addr Base, uint32_t Len, uint32_t Count,
+                  Channel C = Channel::Both) {
+    record(Base, Len, Count, true, true, true, C);
+  }
+
+  void nativeLoad(simt::Addr A) { native(A, 1, true, false); }
+  void nativeStore(simt::Addr A) { native(A, 1, false, true); }
+  void nativeLoadRange(simt::Addr Base, uint32_t Len) {
+    native(Base, Len, true, false);
+  }
+  void nativeStoreRange(simt::Addr Base, uint32_t Len) {
+    native(Base, Len, false, true);
+  }
+
+  /// Finalize and hand out the summary.
+  KernelSummary take() {
+    Cur = nullptr;
+    return std::move(S);
+  }
+
+private:
+  void record(simt::Addr Base, uint32_t Len, uint32_t Count, bool Read,
+              bool Write, bool Widened, Channel C) {
+    AccessRange R;
+    R.Base = Base;
+    R.Len = Len;
+    R.Count = Count < Len ? Count : Len;
+    R.Read = Read;
+    R.Write = Write;
+    R.Widened = Widened;
+    R.Chan = C;
+    if (Cur && InTx && !Cur->Txs.empty())
+      Cur->Txs.back().Accesses.push_back(R);
+  }
+
+  void native(simt::Addr Base, uint32_t Len, bool Read, bool Write) {
+    AccessRange R;
+    R.Base = Base;
+    R.Len = Len;
+    R.Count = Len;
+    R.Read = Read;
+    R.Write = Write;
+    R.Widened = Len > 1;
+    if (Cur)
+      Cur->Native.push_back(R);
+  }
+
+  KernelSummary S;
+  TaskFootprint *Cur = nullptr;
+  bool InTx = false;
+};
+
+} // namespace staticlint
+} // namespace gpustm
+
+#endif // GPUSTM_ANALYSIS_STATIC_FOOTPRINT_H

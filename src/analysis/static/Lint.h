@@ -1,0 +1,135 @@
+//===- analysis/static/Lint.h - Pre-launch static checks --------*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// stmlint's check suite: given the per-kernel AccessSummary objects a
+/// workload replayed into FootprintCtx plus the tuned StmConfig, predict
+/// what the dynamic run would do -- before any kernel launches.
+///
+/// Check catalog (ids are stable; tests and the JSON report key on them):
+///   config.invalid            [error]   StmConfig rejected by
+///                                       stm::validateStmConfig.
+///   capacity.read-log         [error]   Worst-case read-log entries of
+///                                       some transaction exceed ReadSetCap.
+///   capacity.write-log        [error]   Worst-case write-log entries
+///                                       exceed WriteSetCap.
+///   capacity.lock-log         [error]   Worst-case lock-log occupancy
+///                                       exceeds a sorted bucket's cap (or
+///                                       the whole log in append mode).
+///   isolation.native-overlap  [error]   A native (non-transactional)
+///                                       write lands inside some
+///                                       transaction's footprint: the
+///                                       strong-isolation hazard simtsan
+///                                       detects dynamically.
+///   order.unsorted-acquire    [warning] DisableSorting with conflicting,
+///                                       non-monotonic lock sequences:
+///                                       statically possible commit
+///                                       livelock (Section 3.2's
+///                                       deadlock-freedom argument fails).
+///   stripe.collision          [warning] Lock-table striping folds enough
+///                                       unrelated addresses together that
+///                                       predicted false conflicts dominate
+///                                       true ones; includes a recommended
+///                                       stripe count.
+///
+/// Errors are fatal under GPUSTM_LINT=1; warnings only print.  Density,
+/// false-conflict rate, and worst-case log sizes are always emitted as
+/// metrics (the Table 1-style column), findings or not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_ANALYSIS_STATIC_LINT_H
+#define GPUSTM_ANALYSIS_STATIC_LINT_H
+
+#include "analysis/static/Footprint.h"
+#include "stm/Config.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpustm {
+namespace staticlint {
+
+enum class Severity : uint8_t { Warning, Error };
+
+inline const char *severityName(Severity S) {
+  return S == Severity::Error ? "error" : "warning";
+}
+
+/// One reported finding.
+struct LintFinding {
+  std::string CheckId;
+  Severity Sev = Severity::Warning;
+  int Kernel = -1; ///< -1 when the finding is workload-wide.
+  std::string Message;
+};
+
+/// Per-kernel predictions (always emitted, findings or not).
+struct KernelLintMetrics {
+  unsigned Kernel = 0;
+  unsigned NumTasks = 0;
+  unsigned NumTxs = 0;
+  /// Worst-case log occupancy over all transactions of the kernel.
+  unsigned WorstReadLog = 0;
+  unsigned WorstWriteLog = 0;
+  unsigned WorstLockBucket = 0; ///< Entries in the fullest sorted bucket.
+  unsigned WorstLockTotal = 0;  ///< Distinct stripes of one transaction.
+  /// Cross-thread task pairs (the denominator of both densities).
+  uint64_t CrossThreadPairs = 0;
+  /// Pairs whose word-level footprints conflict (write vs read/write).
+  uint64_t ConflictPairs = 0;
+  /// Pairs that additionally collide at lock-stripe granularity with the
+  /// configured NumLocks (>= ConflictPairs; the excess is false conflicts).
+  uint64_t StripeConflictPairs = 0;
+  double PredictedDensity = 0.0;    ///< ConflictPairs / CrossThreadPairs.
+  double FalseConflictRate = 0.0;   ///< False pairs / CrossThreadPairs.
+  size_t RecommendedLocks = 0;      ///< Stripe count that tames false rate.
+};
+
+/// Result of linting one workload x config cell.
+struct LintReport {
+  std::string Workload;
+  stm::Variant Kind = stm::Variant::HVSorting;
+  size_t NumLocks = 0;
+  std::vector<LintFinding> Findings;
+  std::vector<KernelLintMetrics> Kernels;
+
+  unsigned errors() const {
+    unsigned N = 0;
+    for (const LintFinding &F : Findings)
+      N += F.Sev == Severity::Error ? 1 : 0;
+    return N;
+  }
+  unsigned warnings() const {
+    unsigned N = 0;
+    for (const LintFinding &F : Findings)
+      N += F.Sev == Severity::Warning ? 1 : 0;
+    return N;
+  }
+};
+
+/// Run every check over \p Kernels with \p Config.  \p WorkloadName only
+/// labels the report.
+LintReport lintSummaries(const std::string &WorkloadName,
+                         const stm::StmConfig &Config,
+                         const std::vector<KernelSummary> &Kernels);
+
+/// Pretty-print the full report (metrics plus findings) to \p Out.
+void printLintReport(std::FILE *Out, const LintReport &Report);
+
+/// Serialize one report as a JSON object (no trailing newline).
+std::string lintReportJson(const LintReport &Report);
+
+/// Write a `gpustm-stmlint-v1` JSON document holding \p Reports to
+/// \p Path.  Returns false and fills \p Err on I/O failure.
+bool writeLintJson(const std::vector<LintReport> &Reports,
+                   const std::string &Path, std::string *Err);
+
+} // namespace staticlint
+} // namespace gpustm
+
+#endif // GPUSTM_ANALYSIS_STATIC_LINT_H

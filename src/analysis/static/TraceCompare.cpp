@@ -1,0 +1,85 @@
+//===- analysis/static/TraceCompare.cpp - Prediction vs trace -------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/static/TraceCompare.h"
+
+#include "trace/Checker.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace gpustm;
+using namespace gpustm::staticlint;
+using simt::Addr;
+
+TraceDensity staticlint::measuredConflictDensity(const trace::TxTrace &T,
+                                                 unsigned Kernel) {
+  TraceDensity D;
+  std::vector<trace::TxAttempt> Attempts;
+  trace::CheckResult R;
+  if (!trace::splitAttempts(T, Attempts, R)) {
+    D.Err = "malformed event stream: " + R.Message;
+    return D;
+  }
+
+  // One (attempt, write?) occurrence per address, mirroring the static
+  // side's pair definition.
+  struct Entry {
+    uint32_t AttemptIdx;
+    uint32_t Thread;
+    bool W;
+  };
+  std::unordered_map<Addr, std::vector<Entry>> ByAddr;
+  std::unordered_map<uint32_t, uint64_t> PerThread;
+  uint32_t Idx = 0;
+  for (const trace::TxAttempt &A : Attempts) {
+    if (!A.Committed || A.Kernel != Kernel)
+      continue;
+    std::unordered_map<Addr, bool> Touched; // addr -> written?
+    for (size_t E : A.Reads)
+      Touched.emplace(T.Events[E].Address, false);
+    for (size_t E : A.Writes)
+      Touched[T.Events[E].Address] = true;
+    for (const auto &[AddrV, W] : Touched)
+      ByAddr[AddrV].push_back({Idx, A.ThreadId, W});
+    ++PerThread[A.ThreadId];
+    ++Idx;
+  }
+  D.Attempts = Idx;
+  if (Idx == 0) {
+    D.Err = "no committed attempts for the kernel";
+    return D;
+  }
+
+  uint64_t N = Idx;
+  D.CrossThreadPairs = N * (N - 1) / 2;
+  for (const auto &[Thread, C] : PerThread) {
+    (void)Thread;
+    D.CrossThreadPairs -= C * (C - 1) / 2;
+  }
+
+  std::unordered_set<uint64_t> Keys;
+  for (const auto &[AddrV, List] : ByAddr) {
+    (void)AddrV;
+    for (size_t P = 0; P < List.size(); ++P)
+      for (size_t Q = P + 1; Q < List.size(); ++Q) {
+        const Entry &A = List[P];
+        const Entry &B = List[Q];
+        if (A.Thread == B.Thread || (!A.W && !B.W))
+          continue;
+        uint64_t Lo = std::min(A.AttemptIdx, B.AttemptIdx);
+        uint64_t Hi = std::max(A.AttemptIdx, B.AttemptIdx);
+        Keys.insert((Lo << 32) | Hi);
+      }
+  }
+  D.ConflictPairs = Keys.size();
+  if (D.CrossThreadPairs)
+    D.Density = double(D.ConflictPairs) / double(D.CrossThreadPairs);
+  D.Ok = true;
+  return D;
+}

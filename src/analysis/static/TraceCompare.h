@@ -1,0 +1,44 @@
+//===- analysis/static/TraceCompare.h - Prediction vs trace -----*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validation of stmlint's static conflict-density prediction
+/// against a recorded dynamic trace.  The measured density uses the same
+/// definition as the prediction -- conflicting cross-thread pairs over all
+/// cross-thread pairs -- but over the *committed attempts* of the event
+/// stream and their actual logged read/write addresses, so the two numbers
+/// are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_ANALYSIS_STATIC_TRACECOMPARE_H
+#define GPUSTM_ANALYSIS_STATIC_TRACECOMPARE_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace gpustm {
+namespace staticlint {
+
+/// Conflict density measured from a recorded trace (one kernel).
+struct TraceDensity {
+  bool Ok = false;
+  std::string Err; ///< Set when !Ok (malformed stream, no attempts).
+  uint64_t Attempts = 0;          ///< Committed attempts of the kernel.
+  uint64_t CrossThreadPairs = 0;  ///< All cross-thread attempt pairs.
+  uint64_t ConflictPairs = 0;     ///< ... that overlap with >= 1 write.
+  double Density = 0.0;           ///< ConflictPairs / CrossThreadPairs.
+};
+
+/// Measure kernel \p Kernel's conflict density from \p T's event stream.
+TraceDensity measuredConflictDensity(const trace::TxTrace &T,
+                                     unsigned Kernel);
+
+} // namespace staticlint
+} // namespace gpustm
+
+#endif // GPUSTM_ANALYSIS_STATIC_TRACECOMPARE_H

@@ -122,6 +122,81 @@ void FuzzWorkload::runTask(stm::StmRuntime &Stm, ThreadCtx &Ctx, unsigned K,
   }
 }
 
+bool FuzzWorkload::staticFootprint(unsigned K,
+                                   staticlint::FootprintCtx &Ctx) const {
+  (void)K;
+  if (PrivBase == 0 && JournalBase == 0)
+    return false; // setup() has not run yet.
+  for (unsigned Task = 0; Task < P.NumTasks; ++Task) {
+    const FuzzTask &T = P.Tasks[Task];
+    Addr Priv = PrivBase + Task * P.PrivWords;
+    Ctx.beginTask(Task);
+    for (unsigned TxI = 0; TxI < T.Txs.size(); ++TxI) {
+      const FuzzTx &FT = T.Txs[TxI];
+      for (const FuzzPreOp &Op : FT.PreOps) {
+        switch (Op.Kind) {
+        case FuzzPreOpKind::NativeLoad:
+          Ctx.nativeLoad(Priv + fuzzPrivSlot(Op, P.PrivWords));
+          break;
+        case FuzzPreOpKind::NativeStore:
+          Ctx.nativeStore(Priv + fuzzPrivSlot(Op, P.PrivWords));
+          break;
+        case FuzzPreOpKind::Compute:
+          break;
+        }
+      }
+      Ctx.txBegin();
+      for (const FuzzOp &Op : FT.Ops) {
+        unsigned Base = Op.Slot % P.SharedWords;
+        if (!Op.AccAddr) {
+          // The IR is closed under fixed addressing: analyze exactly.
+          Addr A = SharedBase + Base;
+          switch (Op.Kind) {
+          case FuzzOpKind::TxRead:
+            Ctx.txRead(A);
+            break;
+          case FuzzOpKind::TxWrite:
+            Ctx.txWrite(A);
+            break;
+          case FuzzOpKind::TxRmw:
+            Ctx.txRead(A);
+            Ctx.txWrite(A);
+            break;
+          }
+          continue;
+        }
+        // Data-dependent index: one access somewhere in the circular
+        // interval [Base, Base + Span) mod SharedWords.  A wrapping
+        // interval widens to the whole array rather than splitting into
+        // two ranges, so the op still counts once toward every bound.
+        unsigned Span = Op.Span == 0 ? 1 : Op.Span;
+        unsigned Len = std::min<unsigned>(Span, P.SharedWords);
+        Addr Lo = SharedBase + Base;
+        if (Base + Len > P.SharedWords) {
+          Lo = SharedBase;
+          Len = P.SharedWords;
+        }
+        switch (Op.Kind) {
+        case FuzzOpKind::TxRead:
+          Ctx.txReadRange(Lo, Len, 1);
+          break;
+        case FuzzOpKind::TxWrite:
+          Ctx.txWriteRange(Lo, Len, 1);
+          break;
+        case FuzzOpKind::TxRmw:
+          Ctx.txRmwRange(Lo, Len, 1);
+          break;
+        }
+      }
+      Ctx.txEnd();
+      // The post-commit journal store of an update transaction.
+      if (!FT.ReadOnly)
+        Ctx.nativeStore(JournalBase + Task * P.MaxTxPerTask + TxI);
+    }
+  }
+  return true;
+}
+
 namespace {
 /// One journaled commit, ready for version-order replay.
 struct CommittedTx {

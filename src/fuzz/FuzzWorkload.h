@@ -42,6 +42,8 @@ public:
   bool verify(const simt::Device &Dev, const stm::StmCounters &C,
               std::string &Err) const override;
   void tuneStm(stm::StmConfig &Config) const override;
+  bool staticFootprint(unsigned K,
+                       staticlint::FootprintCtx &Ctx) const override;
 
   /// Protocol mutations injected into the run (mutation tests only).
   stm::StmFaults Faults;

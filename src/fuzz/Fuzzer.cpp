@@ -6,6 +6,7 @@
 
 #include "fuzz/Fuzzer.h"
 #include "fuzz/FuzzWorkload.h"
+#include "stm/ConfigCheck.h"
 #include "support/Format.h"
 #include "trace/Checker.h"
 #include "trace/Recorder.h"
@@ -128,6 +129,17 @@ VariantOutcome runVariant(const FuzzProgram &P, stm::Variant Kind,
   W.Faults = O.Faults;
 
   HarnessConfig HC = makeConfig(P, Kind, O);
+
+  // Generated configs must pass the same validation the runtime enforces;
+  // a rejected one is a generator bug, not a protocol bug, and must fail
+  // the seed gracefully instead of tripping reportFatalError mid-run.
+  if (std::string Err =
+          stm::validateStmConfig(workloads::resolveStmConfig(W, HC));
+      !Err.empty()) {
+    Out.Check = "config";
+    Out.Detail = Err;
+    return Out;
+  }
 
   if (O.Wmm) {
     // Weak-memory run: one model per variant so its deviation log maps to

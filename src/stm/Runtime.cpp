@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stm/Runtime.h"
+#include "stm/ConfigCheck.h"
 #include "stm/Tx.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -23,14 +24,10 @@ StmRuntime::StmRuntime(simt::Device &Dev, const StmConfig &Config,
                        const LaunchConfig &MaxLaunch)
     : Dev(Dev), Config(Config), Val(Config.validation()),
       Locking(Config.locking()) {
-  if (!isPowerOf2(Config.NumLocks))
-    reportFatalError("NumLocks must be a power of two");
+  checkStmConfigOrDie(Config);
   CurrentLocking = Locking;
-  if (Config.AdaptiveLocking) {
-    if (Config.DisableSorting)
-      reportFatalError("AdaptiveLocking conflicts with DisableSorting");
+  if (Config.AdaptiveLocking)
     CurrentLocking = CommitLocking::Sorted; // Probe sorted first.
-  }
   unsigned WarpSize = Dev.config().WarpSize;
   unsigned WarpsPerBlock =
       static_cast<unsigned>(divideCeil(MaxLaunch.BlockDim, WarpSize));

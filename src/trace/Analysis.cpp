@@ -50,9 +50,23 @@ TraceReport gpustm::trace::analyzeTrace(const TxTrace &T, size_t TopN) {
     }
   }
 
+  // Stripe attribution (version-2 traces record the lock-table size):
+  // count distinct touched addresses per stripe over the FULL address set,
+  // so the collision column of a truncated top-N list stays exact.
+  std::unordered_map<uint64_t, uint64_t> StripePopulation;
+  if (T.Meta.NumLocks != 0)
+    for (const auto &[A, S] : ByAddr) {
+      (void)S;
+      ++StripePopulation[A & (T.Meta.NumLocks - 1)];
+    }
+
   Rep.HotAddrs.reserve(ByAddr.size());
   for (auto &[A, S] : ByAddr) {
     S.Address = A;
+    if (T.Meta.NumLocks != 0) {
+      S.Stripe = A & (T.Meta.NumLocks - 1);
+      S.StripeCollisions = StripePopulation[S.Stripe] - 1;
+    }
     Rep.HotAddrs.push_back(S);
   }
   std::sort(Rep.HotAddrs.begin(), Rep.HotAddrs.end(),
@@ -163,13 +177,24 @@ void gpustm::trace::printReport(std::FILE *Out, const TxTrace &T,
                static_cast<unsigned long long>(Rep.LockFailures));
 
   if (!Rep.HotAddrs.empty()) {
-    std::fprintf(Out, "\nhottest addresses (reads/writes/failed-validations):"
-                      "\n");
-    for (const AddrStats &S : Rep.HotAddrs)
-      std::fprintf(Out, "  @%-10u %6llu / %6llu / %6llu\n", S.Address,
+    bool HaveStripes = M.NumLocks != 0;
+    std::fprintf(Out,
+                 HaveStripes
+                     ? "\nhottest addresses (reads/writes/failed-validations"
+                       "; stripe, colliding addrs):\n"
+                     : "\nhottest addresses (reads/writes/failed-validations)"
+                       ":\n");
+    for (const AddrStats &S : Rep.HotAddrs) {
+      std::fprintf(Out, "  @%-10u %6llu / %6llu / %6llu", S.Address,
                    static_cast<unsigned long long>(S.Reads),
                    static_cast<unsigned long long>(S.Writes),
                    static_cast<unsigned long long>(S.FailedValidations));
+      if (HaveStripes)
+        std::fprintf(Out, "   #%-8llu %llu",
+                     static_cast<unsigned long long>(S.Stripe),
+                     static_cast<unsigned long long>(S.StripeCollisions));
+      std::fprintf(Out, "\n");
+    }
   }
   if (!Rep.HotLocks.empty()) {
     std::fprintf(Out, "\nhottest contended locks (index: failures):\n");

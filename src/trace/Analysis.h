@@ -29,6 +29,12 @@ struct AddrStats {
   uint64_t Reads = 0;
   uint64_t Writes = 0;
   uint64_t FailedValidations = 0;
+  /// Lock stripe the address maps to (Address & (NumLocks - 1); 0 when the
+  /// trace predates version 2 and NumLocks is unknown).
+  uint64_t Stripe = 0;
+  /// Other distinct touched addresses folded onto the same stripe -- each
+  /// one a potential false conflict with this address.
+  uint64_t StripeCollisions = 0;
 
   uint64_t touches() const { return Reads + Writes + FailedValidations; }
 };

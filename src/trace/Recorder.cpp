@@ -30,6 +30,7 @@ void TxTraceRecorder::beginRun(const std::string &WorkloadName,
   T.Meta.Workload = WorkloadName;
   T.Meta.Kind = Stm.config().Kind;
   T.Meta.Val = Stm.validation();
+  T.Meta.NumLocks = Stm.config().NumLocks;
   T.Meta.WarpSize = Dev.config().WarpSize;
   T.Meta.NumSMs = Dev.config().NumSMs;
   T.Meta.GridDim = MaxLaunch.GridDim;

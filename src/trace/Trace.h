@@ -51,6 +51,8 @@ struct TraceMeta {
   unsigned GridDim = 0;
   unsigned BlockDim = 0;
   unsigned NumKernels = 0;
+  /// Lock-table stripes of the run (0 in version-1 traces: unknown).
+  size_t NumLocks = 0;
   uint64_t TotalCycles = 0;
   /// Final harness counters; the checker reconciles the event stream
   /// against these.

@@ -18,7 +18,9 @@ using namespace gpustm::trace;
 namespace {
 
 constexpr char Magic[8] = {'G', 'P', 'U', 'S', 'T', 'M', 'T', 'R'};
-constexpr uint32_t FormatVersion = 1;
+/// Version 2 adds Meta.NumLocks after NumKernels; version-1 traces are
+/// still readable (NumLocks reads back as 0 = unknown).
+constexpr uint32_t FormatVersion = 2;
 
 /// Sanity bound on serialized vector lengths (words, events, ops): 1 G
 /// entries.  Rejects corrupt length fields before they turn into huge
@@ -129,6 +131,7 @@ bool gpustm::trace::writeTrace(const TxTrace &T, const std::string &Path,
   W.u32(M.GridDim);
   W.u32(M.BlockDim);
   W.u32(M.NumKernels);
+  W.u64(M.NumLocks);
   W.u64(M.TotalCycles);
   const stm::StmCounters &C = M.Counters;
   const uint64_t Counters[11] = {
@@ -202,7 +205,7 @@ bool gpustm::trace::readTrace(TxTrace &T, const std::string &Path,
     return Fail("not a GPU-STM trace (bad magic)");
   Reader R{F};
   uint32_t Version = R.u32();
-  if (!R.Ok || Version != FormatVersion)
+  if (!R.Ok || Version < 1 || Version > FormatVersion)
     return Fail("unsupported trace format version");
 
   T = TxTrace();
@@ -221,6 +224,7 @@ bool gpustm::trace::readTrace(TxTrace &T, const std::string &Path,
   M.GridDim = R.u32();
   M.BlockDim = R.u32();
   M.NumKernels = R.u32();
+  M.NumLocks = Version >= 2 ? R.u64() : 0;
   M.TotalCycles = R.u64();
   stm::StmCounters &C = M.Counters;
   C.Commits = R.u64();

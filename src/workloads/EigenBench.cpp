@@ -71,6 +71,41 @@ bool EigenBench::verify(const simt::Device &Dev, const stm::StmCounters &C,
   return true;
 }
 
+bool EigenBench::staticFootprint(unsigned K,
+                                 staticlint::FootprintCtx &Ctx) const {
+  (void)K;
+  if (HotBase == simt::InvalidAddr)
+    return false;
+  for (unsigned Task = 0; Task < P.NumTx; ++Task) {
+    Ctx.beginTask(Task);
+    Rng Rand(P.Seed * 0x9e3779b97f4a7c15ULL + Task);
+    Addr ReadSlots[24], WriteSlots[24];
+    for (unsigned I = 0; I < P.ReadsPerTx; ++I)
+      ReadSlots[I] = HotBase + static_cast<Addr>(Rand.nextBelow(P.HotWords));
+    for (unsigned I = 0; I < P.WritesPerTx; ++I)
+      WriteSlots[I] = HotBase + static_cast<Addr>(Rand.nextBelow(P.HotWords));
+
+    // Native mild-array accesses; the slice is a pure function of the
+    // thread id, which the context reproduces from the harness mapping.
+    Addr Mild = MildBase + (Ctx.threadForTask(Task) % P.MaxThreads) *
+                               P.MildWordsPerThread;
+    for (unsigned I = 0; I < P.MildAccesses; ++I) {
+      Ctx.nativeLoad(Mild + I % P.MildWordsPerThread);
+      Ctx.nativeStore(Mild + I % P.MildWordsPerThread);
+    }
+
+    Ctx.txBegin();
+    for (unsigned I = 0; I < P.ReadsPerTx; ++I)
+      Ctx.txRead(ReadSlots[I]);
+    for (unsigned I = 0; I < P.WritesPerTx; ++I) {
+      Ctx.txRead(WriteSlots[I]);
+      Ctx.txWrite(WriteSlots[I]);
+    }
+    Ctx.txEnd();
+  }
+  return true;
+}
+
 void EigenBench::tuneStm(stm::StmConfig &Config) const {
   Config.ReadSetCap = P.ReadsPerTx + 2 * P.WritesPerTx + 4;
   Config.WriteSetCap = P.WritesPerTx + 4;

@@ -10,6 +10,7 @@
 #include "support/MathExtras.h"
 #include "support/Random.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace gpustm;
@@ -164,6 +165,124 @@ bool Genome::verify(const simt::Device &Dev, const stm::StmCounters &C,
       Err = formatString("GN: unclaimed %u has incoming links", Pos);
       return false;
     }
+  }
+  return true;
+}
+
+bool Genome::staticFootprint(unsigned K,
+                             staticlint::FootprintCtx &Ctx) const {
+  if (TableBase == simt::InvalidAddr || Segments.empty())
+    return false;
+  Word Mask = static_cast<Word>(P.TableWords - 1);
+
+  if (K == 0) {
+    // Deduplicating inserts: replay in task order (like HashTable, but a
+    // key may be a duplicate, in which case the probe stops at the
+    // existing entry and writes nothing).  The final occupied-slot set is
+    // schedule-independent, so worst-case probe runs over the final table
+    // bound every schedule.
+    std::vector<Word> Table(P.TableWords, 0);
+    struct Insert {
+      Word Start = 0;
+      Word Len = 0;
+      Word Placed = 0;
+      bool DidPlace = false;
+    };
+    std::vector<Insert> Inserts;
+    Inserts.reserve(P.NumSegments);
+    for (unsigned Task = 0; Task < P.NumSegments; ++Task) {
+      Word Key = static_cast<Word>(Segments[Task]) + 1;
+      Insert In;
+      In.Start = hashKey(Key) & Mask;
+      Word Slot = In.Start;
+      for (;;) {
+        ++In.Len;
+        if (Table[Slot] == Key)
+          break; // Duplicate.
+        if (Table[Slot] == 0) {
+          Table[Slot] = Key;
+          In.Placed = Slot;
+          In.DidPlace = true;
+          break;
+        }
+        Slot = (Slot + 1) & Mask;
+      }
+      Inserts.push_back(In);
+    }
+    auto emitProbe = [&](Word Start, uint64_t Len, staticlint::Channel Chan) {
+      uint64_t First = std::min<uint64_t>(Len, P.TableWords - Start);
+      Ctx.txReadRange(TableBase + Start, static_cast<uint32_t>(First),
+                      static_cast<uint32_t>(First), Chan);
+      if (Len > First)
+        Ctx.txReadRange(TableBase, static_cast<uint32_t>(Len - First),
+                        static_cast<uint32_t>(Len - First), Chan);
+    };
+    for (unsigned Task = 0; Task < P.NumSegments; ++Task) {
+      const Insert &In = Inserts[Task];
+      Word Key = static_cast<Word>(Segments[Task]) + 1;
+      Ctx.beginTask(Task);
+      Ctx.txBegin();
+      uint64_t Worst = 0;
+      Word Slot = In.Start;
+      while (Table[Slot] != 0 && Worst < P.TableWords) {
+        ++Worst;
+        Slot = (Slot + 1) & Mask;
+      }
+      ++Worst;
+      emitProbe(In.Start, Worst, staticlint::Channel::CapacityOnly);
+      emitProbe(In.Start, In.Len, staticlint::Channel::ConflictOnly);
+      if (In.DidPlace) {
+        Ctx.txWrite(TableBase + In.Placed);
+        Ctx.txWrite(PresentBase + (Key - 1));
+      } else {
+        // A racing schedule could make this duplicate the placer instead:
+        // budget the two writes for capacity, but keep the representative
+        // (replay) serialization -- no writes -- for conflict prediction.
+        Ctx.txWriteRange(TableBase + In.Start,
+                         static_cast<uint32_t>(
+                             std::min<uint64_t>(Worst, P.TableWords)),
+                         1, staticlint::Channel::CapacityOnly);
+        Ctx.txWrite(PresentBase + (Key - 1),
+                    staticlint::Channel::CapacityOnly);
+      }
+      Ctx.txEnd();
+    }
+    return true;
+  }
+
+  // Kernel 2: present flags are final after kernel 1 (the distinct
+  // segment set), but which successor a position claims is schedule
+  // dependent.  Emit every window read (worst case: all candidates were
+  // already claimed) and one widened claim write over the candidate span.
+  std::vector<uint8_t> Present(P.GenomeLen, 0);
+  for (unsigned S : Segments)
+    Present[S] = 1;
+  for (unsigned Pos = 0; Pos < P.GenomeLen; ++Pos) {
+    Ctx.beginTask(Pos);
+    Ctx.txBegin();
+    Ctx.txRead(PresentBase + Pos);
+    if (Present[Pos]) {
+      unsigned FirstCand = 0, LastCand = 0;
+      bool Have = false;
+      for (unsigned D = 1; D <= P.Window && Pos + D < P.GenomeLen; ++D) {
+        unsigned Succ = Pos + D;
+        Ctx.txRead(PresentBase + Succ);
+        if (Present[Succ]) {
+          Ctx.txRead(ClaimedBase + Succ);
+          if (!Have) {
+            FirstCand = Succ;
+            Have = true;
+          }
+          LastCand = Succ;
+        }
+      }
+      if (Have) {
+        Ctx.txWriteRange(ClaimedBase + FirstCand, LastCand - FirstCand + 1,
+                         1);
+        Ctx.txWrite(LinkBase + Pos);
+      }
+    }
+    Ctx.txEnd();
   }
   return true;
 }

@@ -66,6 +66,8 @@ public:
   bool verify(const simt::Device &Dev, const stm::StmCounters &C,
               std::string &Err) const override;
   void tuneStm(stm::StmConfig &Config) const override;
+  bool staticFootprint(unsigned K,
+                       staticlint::FootprintCtx &Ctx) const override;
 
   static uint32_t hashKey(simt::Word Key) { return Key * 2654435761u; }
 

@@ -6,6 +6,7 @@
 
 #include "workloads/Harness.h"
 #include "analysis/Simtsan.h"
+#include "workloads/LintDriver.h"
 #include "support/EnvOptions.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -83,19 +84,20 @@ static LaunchConfig maxLaunch(const std::vector<LaunchConfig> &Launches) {
   return Max;
 }
 
-HarnessResult gpustm::workloads::runWorkload(Workload &W,
-                                             const HarnessConfig &Config) {
+std::vector<LaunchConfig>
+gpustm::workloads::resolveLaunches(const Workload &W,
+                                   const HarnessConfig &Config) {
   std::vector<LaunchConfig> Given = Config.Launches;
   if (Given.empty())
     Given.push_back(LaunchConfig{64, 256});
-
-  // Resolve per-kernel launches.
   std::vector<LaunchConfig> Launches;
   for (unsigned K = 0; K < W.numKernels(); ++K)
     Launches.push_back(K < Given.size() ? Given[K] : Given.back());
-  LaunchConfig Max = maxLaunch(Launches);
+  return Launches;
+}
 
-  // STM configuration, tuned by the workload.
+StmConfig gpustm::workloads::resolveStmConfig(const Workload &W,
+                                              const HarnessConfig &Config) {
   StmConfig SC;
   SC.Kind = Config.Kind;
   SC.NumLocks = Config.NumLocks;
@@ -110,6 +112,14 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
   SC.AdaptiveLocking = Config.AdaptiveLocking;
   SC.DebugName = W.name();
   W.tuneStm(SC);
+  return SC;
+}
+
+HarnessResult gpustm::workloads::runWorkload(Workload &W,
+                                             const HarnessConfig &Config) {
+  std::vector<LaunchConfig> Launches = resolveLaunches(W, Config);
+  LaunchConfig Max = maxLaunch(Launches);
+  StmConfig SC = resolveStmConfig(W, Config);
 
   // Size the device: shared data + STM metadata + slack.
   simt::DeviceConfig DC = Config.DeviceCfg;
@@ -169,6 +179,24 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     Dev.setWmmModel(Wmm);
 
   W.setup(Dev);
+
+  // Pre-launch static analysis (stmlint): with GPUSTM_LINT=1, capacity or
+  // isolation errors are fatal before any kernel launches; warnings only
+  // print.  Pure host-side work over the already-set-up workload -- no
+  // device operation is issued -- so runs with the flag off (the default)
+  // are bit-identical to runs that never linked the analyzer.
+  if (envBool("GPUSTM_LINT", false)) {
+    LintDriverResult Lint = lintWorkloadAfterSetup(W, SC, Launches);
+    if (Lint.Modeled) {
+      if (!Lint.Report.Findings.empty())
+        staticlint::printLintReport(stderr, Lint.Report);
+      if (Lint.Report.errors() != 0)
+        reportFatalError(formatString(
+            "stmlint: %u pre-launch error(s) for %s; refusing to launch",
+            Lint.Report.errors(), W.name()));
+    }
+  }
+
   StmRuntime Stm(Dev, SC, Max);
 
   // Trace recording: a caller-owned recorder wins; otherwise a configured

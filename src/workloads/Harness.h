@@ -140,6 +140,17 @@ struct HarnessResult {
   }
 };
 
+/// Per-kernel launches runWorkload will use: the configured list (default
+/// 64x256), with the last entry repeated for any remaining kernels.
+std::vector<simt::LaunchConfig> resolveLaunches(const Workload &W,
+                                                const HarnessConfig &Config);
+
+/// The tuned StmConfig runWorkload will hand the STM runtime (harness
+/// fields applied, then Workload::tuneStm).  Shared with the static
+/// analyzer so its capacity checks see exactly the launch-time caps.
+stm::StmConfig resolveStmConfig(const Workload &W,
+                                const HarnessConfig &Config);
+
 /// Run \p W under \p Config.  Builds a fresh Device sized for the workload
 /// plus STM metadata, so runs are independent and deterministic.
 HarnessResult runWorkload(Workload &W, const HarnessConfig &Config);

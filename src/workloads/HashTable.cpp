@@ -9,6 +9,9 @@
 #include "support/Format.h"
 #include "support/MathExtras.h"
 
+#include <algorithm>
+#include <vector>
+
 using namespace gpustm;
 using namespace gpustm::workloads;
 using simt::Addr;
@@ -94,6 +97,78 @@ bool HashTable::verify(const simt::Device &Dev, const stm::StmCounters &C,
                        static_cast<unsigned long long>(Occupied),
                        static_cast<unsigned long long>(Keys));
     return false;
+  }
+  return true;
+}
+
+bool HashTable::staticFootprint(unsigned K,
+                                staticlint::FootprintCtx &Ctx) const {
+  (void)K;
+  if (TableBase == simt::InvalidAddr)
+    return false;
+  Word Mask = static_cast<Word>(P.TableWords - 1);
+
+  // Pass 1: serial replay in task order builds the final table and records
+  // each insert's probe sequence.  Linear probing's occupied-slot set is
+  // insertion-order independent, so the final table is schedule-exact; the
+  // replay probes are a representative serialization for conflict
+  // prediction.
+  std::vector<Word> Table(P.TableWords, 0);
+  struct Insert {
+    Word Start = 0;
+    Word Len = 0; ///< Probed slots, placement included.
+    Word Placed = 0;
+  };
+  std::vector<Insert> Inserts;
+  Inserts.reserve(static_cast<size_t>(P.NumTx) * P.InsertsPerTx);
+  for (unsigned Task = 0; Task < P.NumTx; ++Task)
+    for (unsigned I = 0; I < P.InsertsPerTx; ++I) {
+      Word Key = static_cast<Word>(Task) * P.InsertsPerTx + I + 1;
+      Insert In;
+      In.Start = hashKey(Key) & Mask;
+      Word Slot = In.Start;
+      for (;;) {
+        ++In.Len;
+        if (Table[Slot] == 0) {
+          Table[Slot] = Key;
+          In.Placed = Slot;
+          break;
+        }
+        Slot = (Slot + 1) & Mask;
+      }
+      Inserts.push_back(In);
+    }
+
+  // Pass 2: emit.  Capacity channel gets the worst-case probe run over the
+  // final table (start slot through the first finally-empty slot): any
+  // schedule's intermediate occupied set is a subset of the final one, so
+  // no probe can run further.  Conflict channel gets the replay probes.
+  auto emitProbe = [&](Word Start, uint64_t Len, staticlint::Channel Chan) {
+    uint64_t First = std::min<uint64_t>(Len, P.TableWords - Start);
+    Ctx.txReadRange(TableBase + Start, static_cast<uint32_t>(First),
+                    static_cast<uint32_t>(First), Chan);
+    if (Len > First) // Wrapped around the table.
+      Ctx.txReadRange(TableBase, static_cast<uint32_t>(Len - First),
+                      static_cast<uint32_t>(Len - First), Chan);
+  };
+  size_t Idx = 0;
+  for (unsigned Task = 0; Task < P.NumTx; ++Task) {
+    Ctx.beginTask(Task);
+    Ctx.txBegin();
+    for (unsigned I = 0; I < P.InsertsPerTx; ++I, ++Idx) {
+      const Insert &In = Inserts[Idx];
+      uint64_t Worst = 0;
+      Word Slot = In.Start;
+      while (Table[Slot] != 0 && Worst < P.TableWords) {
+        ++Worst;
+        Slot = (Slot + 1) & Mask;
+      }
+      ++Worst; // The terminating read of the empty slot.
+      emitProbe(In.Start, Worst, staticlint::Channel::CapacityOnly);
+      emitProbe(In.Start, In.Len, staticlint::Channel::ConflictOnly);
+      Ctx.txWrite(TableBase + In.Placed);
+    }
+    Ctx.txEnd();
   }
   return true;
 }

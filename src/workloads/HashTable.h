@@ -46,6 +46,8 @@ public:
   bool verify(const simt::Device &Dev, const stm::StmCounters &C,
               std::string &Err) const override;
   void tuneStm(stm::StmConfig &Config) const override;
+  bool staticFootprint(unsigned K,
+                       staticlint::FootprintCtx &Ctx) const override;
 
   /// The probe start slot for \p Key (shared with the oracle).
   static uint32_t hashKey(simt::Word Key) { return Key * 2654435761u; }

@@ -103,6 +103,30 @@ bool KMeans::verify(const simt::Device &Dev, const stm::StmCounters &C,
   return true;
 }
 
+bool KMeans::staticFootprint(unsigned K,
+                             staticlint::FootprintCtx &Ctx) const {
+  (void)K;
+  if (CountBase == simt::InvalidAddr)
+    return false;
+  // The assignment is a pure function of the inputs, so the footprint is
+  // exact: every task hits its cluster's count word plus Dims sum words.
+  for (unsigned Task = 0; Task < P.NumPoints; ++Task) {
+    Ctx.beginTask(Task);
+    for (unsigned D = 0; D < P.Dims; ++D)
+      Ctx.nativeLoad(PointsBase + Task * P.Dims + D);
+    unsigned C = assignmentOf(Task);
+    Ctx.txBegin();
+    Ctx.txRead(CountBase + C);
+    Ctx.txWrite(CountBase + C);
+    for (unsigned D = 0; D < P.Dims; ++D) {
+      Ctx.txRead(SumBase + C * P.Dims + D);
+      Ctx.txWrite(SumBase + C * P.Dims + D);
+    }
+    Ctx.txEnd();
+  }
+  return true;
+}
+
 void KMeans::tuneStm(stm::StmConfig &Config) const {
   Config.ReadSetCap = 2 * (P.Dims + 1) + 4;
   Config.WriteSetCap = P.Dims + 3;

@@ -144,6 +144,30 @@ bool Labyrinth::verify(const simt::Device &Dev, const stm::StmCounters &C,
   return true;
 }
 
+bool Labyrinth::staticFootprint(unsigned K,
+                                staticlint::FootprintCtx &Ctx) const {
+  (void)K;
+  if (CellsBase == simt::InvalidAddr || Nets.empty())
+    return false;
+  // Whether a net runs its second bend depends on who claimed first, so
+  // both bends are emitted (worst case); writes are likewise worst-case
+  // (a blocked net commits read-only and writes nothing).
+  for (unsigned Task = 0; Task < P.NumRoutes; ++Task) {
+    Ctx.beginTask(Task);
+    for (int Bend = 0; Bend < 2; ++Bend) {
+      const std::vector<unsigned> &Cells = SortedPaths[Bend][Task];
+      Ctx.txBegin();
+      for (unsigned Cell : Cells)
+        Ctx.txRead(CellsBase + Cell);
+      for (unsigned Cell : Cells)
+        Ctx.txWrite(CellsBase + Cell);
+      Ctx.txWrite(StatusBase + Task);
+      Ctx.txEnd();
+    }
+  }
+  return true;
+}
+
 void Labyrinth::tuneStm(stm::StmConfig &Config) const {
   // Paths are contiguous address runs, so most of a path maps into one
   // order-preserving bucket: capacity must cover a whole path.

@@ -61,6 +61,8 @@ public:
   bool verify(const simt::Device &Dev, const stm::StmCounters &C,
               std::string &Err) const override;
   void tuneStm(stm::StmConfig &Config) const override;
+  bool staticFootprint(unsigned K,
+                       staticlint::FootprintCtx &Ctx) const override;
 
 private:
   struct Net {

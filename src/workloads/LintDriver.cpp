@@ -1,0 +1,53 @@
+//===- workloads/LintDriver.cpp - stmlint over harness workloads ----------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LintDriver.h"
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::LaunchConfig;
+
+bool gpustm::workloads::buildKernelSummaries(
+    const Workload &W, const stm::StmConfig &Config,
+    const std::vector<LaunchConfig> &Launches,
+    std::vector<staticlint::KernelSummary> &Out) {
+  Out.clear();
+  for (unsigned K = 0; K < W.numKernels(); ++K) {
+    Workload::KernelSpec Spec = W.kernelSpec(K);
+    bool BlockLevel =
+        Spec.TxThreadPerBlockOnly || Config.Kind == stm::Variant::EGPGV;
+    staticlint::FootprintCtx Ctx(K, Launches[K], BlockLevel, Spec.NumTasks);
+    if (!W.staticFootprint(K, Ctx))
+      return false;
+    Out.push_back(Ctx.take());
+  }
+  return true;
+}
+
+LintDriverResult gpustm::workloads::lintWorkloadAfterSetup(
+    const Workload &W, const stm::StmConfig &Config,
+    const std::vector<LaunchConfig> &Launches) {
+  LintDriverResult R;
+  std::vector<staticlint::KernelSummary> Summaries;
+  if (!buildKernelSummaries(W, Config, Launches, Summaries))
+    return R;
+  R.Modeled = true;
+  R.Report = staticlint::lintSummaries(W.name(), Config, Summaries);
+  return R;
+}
+
+LintDriverResult gpustm::workloads::lintWorkload(Workload &W,
+                                                 const HarnessConfig &Config) {
+  std::vector<LaunchConfig> Launches = resolveLaunches(W, Config);
+  stm::StmConfig SC = resolveStmConfig(W, Config);
+  // Workload arrays are the first allocations in runWorkload too, so the
+  // footprints this scratch setup yields use the real base addresses.
+  simt::DeviceConfig DC = Config.DeviceCfg;
+  DC.MemoryWords = W.deviceMemoryWords() + (1u << 16) /* slack */;
+  simt::Device Dev(DC);
+  W.setup(Dev);
+  return lintWorkloadAfterSetup(W, SC, Launches);
+}

@@ -1,0 +1,54 @@
+//===- workloads/LintDriver.h - stmlint over harness workloads --*- C++ -*-===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the harness and the static analyzer: resolves the same
+/// launches and tuned StmConfig runWorkload would use, replays each
+/// kernel's Workload::staticFootprint hook into a FootprintCtx, and runs
+/// the stmlint check suite.  Used by the GPUSTM_LINT=1 harness path (after
+/// setup, before the STM runtime is built) and by tools/stmlint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUSTM_WORKLOADS_LINTDRIVER_H
+#define GPUSTM_WORKLOADS_LINTDRIVER_H
+
+#include "analysis/static/Lint.h"
+#include "workloads/Harness.h"
+
+namespace gpustm {
+namespace workloads {
+
+/// Replay every kernel of \p W into per-kernel summaries under the
+/// harness's task-to-thread mapping.  setup() must have run so base
+/// addresses are final.  Returns false when some kernel has no static
+/// model (the workload's staticFootprint declined).
+bool buildKernelSummaries(const Workload &W, const stm::StmConfig &Config,
+                          const std::vector<simt::LaunchConfig> &Launches,
+                          std::vector<staticlint::KernelSummary> &Out);
+
+struct LintDriverResult {
+  /// False when the workload has no static footprint model; Report is
+  /// then empty and no checks ran.
+  bool Modeled = false;
+  staticlint::LintReport Report;
+};
+
+/// Lint a workload whose setup() already ran (the harness path).
+LintDriverResult lintWorkloadAfterSetup(
+    const Workload &W, const stm::StmConfig &Config,
+    const std::vector<simt::LaunchConfig> &Launches);
+
+/// Standalone entry (tools/stmlint): allocates a scratch device whose
+/// allocation order matches runWorkload -- workload arrays first -- so
+/// base addresses and stripe predictions are identical to a real run,
+/// runs setup, and lints.
+LintDriverResult lintWorkload(Workload &W, const HarnessConfig &Config);
+
+} // namespace workloads
+} // namespace gpustm
+
+#endif // GPUSTM_WORKLOADS_LINTDRIVER_H

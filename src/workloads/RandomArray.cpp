@@ -66,6 +66,35 @@ bool RandomArray::verify(const simt::Device &Dev, const stm::StmCounters &C,
   return true;
 }
 
+bool RandomArray::staticFootprint(unsigned K,
+                                  staticlint::FootprintCtx &Ctx) const {
+  (void)K;
+  if (ArrayBase == simt::InvalidAddr)
+    return false;
+  // Addresses are a pure function of (seed, task): the replay below is
+  // exact, mirroring runTask access for access.
+  for (unsigned Task = 0; Task < P.NumTx; ++Task) {
+    Ctx.beginTask(Task);
+    Rng Rand(P.Seed * 0x9e3779b97f4a7c15ULL + Task);
+    Addr ReadSlots[16], WriteSlots[16];
+    for (unsigned I = 0; I < P.ReadsPerTx; ++I)
+      ReadSlots[I] =
+          ArrayBase + static_cast<Addr>(Rand.nextBelow(P.ArrayWords));
+    for (unsigned I = 0; I < P.WritesPerTx; ++I)
+      WriteSlots[I] =
+          ArrayBase + static_cast<Addr>(Rand.nextBelow(P.ArrayWords));
+    Ctx.txBegin();
+    for (unsigned I = 0; I < P.ReadsPerTx; ++I)
+      Ctx.txRead(ReadSlots[I]);
+    for (unsigned I = 0; I < P.WritesPerTx; ++I) {
+      Ctx.txRead(WriteSlots[I]);
+      Ctx.txWrite(WriteSlots[I]);
+    }
+    Ctx.txEnd();
+  }
+  return true;
+}
+
 void RandomArray::tuneStm(stm::StmConfig &Config) const {
   Config.ReadSetCap = P.ReadsPerTx + 2 * P.WritesPerTx + 4;
   Config.WriteSetCap = P.WritesPerTx + 4;

@@ -18,6 +18,7 @@
 #ifndef GPUSTM_WORKLOADS_WORKLOAD_H
 #define GPUSTM_WORKLOADS_WORKLOAD_H
 
+#include "analysis/static/Footprint.h"
 #include "simt/Device.h"
 #include "stm/Runtime.h"
 #include "stm/Tx.h"
@@ -79,6 +80,18 @@ public:
   /// Adjust STM capacities (read/write-set, lock-log shape) to fit this
   /// workload's transaction footprint.
   virtual void tuneStm(stm::StmConfig &Config) const { (void)Config; }
+
+  /// Replay kernel \p K's address generation into \p Ctx for the
+  /// pre-launch static analyzer (stmlint): one sealed pass over every
+  /// task, no scheduler, no concurrency, no device mutation.  Exact
+  /// addresses replay exactly; data-dependent indexing widens to ranges.
+  /// Requires setup() to have run (base addresses must be final).  The
+  /// default declines, which disables static analysis for the workload.
+  virtual bool staticFootprint(unsigned K, staticlint::FootprintCtx &Ctx) const {
+    (void)K;
+    (void)Ctx;
+    return false;
+  }
 };
 
 } // namespace workloads

@@ -1,0 +1,112 @@
+//===- tests/analysis/LintAccuracyTest.cpp - Prediction vs trace ----------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-validates stmlint's static conflict-density prediction against the
+// dynamic truth: run the same workload under a trace recorder and measure
+// the density over the committed attempts' actual logged addresses.  RA, EB
+// and KM replay their exact addresses into the footprint, so prediction and
+// measurement agree almost exactly; HT's footprint is a representative
+// serial replay of the probe sequences, so it gets the same 25% tolerance
+// the acceptance bar sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/static/TraceCompare.h"
+#include "trace/Recorder.h"
+#include "workloads/EigenBench.h"
+#include "workloads/HashTable.h"
+#include "workloads/KMeans.h"
+#include "workloads/LintDriver.h"
+#include "workloads/RandomArray.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+
+namespace {
+
+HarnessConfig accuracyConfig() {
+  HarnessConfig HC;
+  HC.Kind = stm::Variant::HVSorting;
+  HC.NumLocks = 1u << 16;
+  HC.Launches = {{32, 32}}; // 1024 threads; tasks wrap across them
+  return HC;
+}
+
+/// Predict with one fresh instance, run + measure with another (the scratch
+/// lint device and the harness device allocate in the same order, so the
+/// two instances see identical base addresses).
+void checkAccuracy(const char *Name, std::unique_ptr<Workload> ForLint,
+                   std::unique_ptr<Workload> ForRun) {
+  HarnessConfig HC = accuracyConfig();
+
+  LintDriverResult Lint = lintWorkload(*ForLint, HC);
+  ASSERT_TRUE(Lint.Modeled) << Name;
+  ASSERT_EQ(Lint.Report.Kernels.size(), 1u) << Name;
+  const staticlint::KernelLintMetrics &M = Lint.Report.Kernels[0];
+
+  trace::TxTraceRecorder Rec;
+  HC.Recorder = &Rec;
+  HarnessResult R = runWorkload(*ForRun, HC);
+  ASSERT_TRUE(R.Completed) << Name << ": " << R.Error;
+  ASSERT_TRUE(R.Verified) << Name << ": " << R.Error;
+
+  staticlint::TraceDensity D =
+      staticlint::measuredConflictDensity(Rec.trace(), 0);
+  ASSERT_TRUE(D.Ok) << Name << ": " << D.Err;
+
+  // These workloads run one transaction per task and every task commits,
+  // so the pair universes are directly comparable.
+  EXPECT_EQ(D.Attempts, M.NumTxs) << Name;
+  EXPECT_EQ(D.CrossThreadPairs, M.CrossThreadPairs) << Name;
+
+  // The acceptance bar: within 25% of the trace-measured density (small
+  // absolute floor for the near-zero cells).
+  double Tol = 0.25 * D.Density + 1e-4;
+  EXPECT_NEAR(M.PredictedDensity, D.Density, Tol)
+      << Name << ": predicted " << M.PredictedDensity << " vs measured "
+      << D.Density << " (" << D.ConflictPairs << "/" << D.CrossThreadPairs
+      << " pairs)";
+}
+
+TEST(LintAccuracy, RandomArray) {
+  RandomArray::Params P;
+  P.ArrayWords = 1u << 14;
+  P.NumTx = 2048;
+  checkAccuracy("RA", std::make_unique<RandomArray>(P),
+                std::make_unique<RandomArray>(P));
+}
+
+TEST(LintAccuracy, HashTable) {
+  HashTable::Params P;
+  P.TableWords = 1u << 13;
+  P.NumTx = 1024;
+  checkAccuracy("HT", std::make_unique<HashTable>(P),
+                std::make_unique<HashTable>(P));
+}
+
+TEST(LintAccuracy, EigenBench) {
+  EigenBench::Params P;
+  P.HotWords = 1u << 14;
+  P.NumTx = 2048;
+  P.MaxThreads = 2048;
+  checkAccuracy("EB", std::make_unique<EigenBench>(P),
+                std::make_unique<EigenBench>(P));
+}
+
+TEST(LintAccuracy, KMeans) {
+  KMeans::Params P;
+  P.NumPoints = 2048;
+  P.K = 8;
+  checkAccuracy("KM", std::make_unique<KMeans>(P),
+                std::make_unique<KMeans>(P));
+}
+
+} // namespace

@@ -1,0 +1,385 @@
+//===- tests/analysis/StmLintTest.cpp - stmlint check suite ---------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// Seeded-mutation coverage for the pre-launch static analyzer: a tiny
+// configurable probe workload plants exactly one hazard per shape (capacity
+// overflow, native-write overlap, unsorted lock acquisition) and the test
+// asserts stmlint reports it under the right check id -- and nothing else.
+// The clean shape and a subset of the real workload matrix must lint with
+// zero findings, and the GPUSTM_LINT=1 harness path must die *before* any
+// kernel launches on an erroring workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/static/Lint.h"
+#include "workloads/All.h"
+#include "workloads/Harness.h"
+#include "workloads/LintDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace gpustm;
+using namespace gpustm::workloads;
+using simt::Addr;
+using simt::Word;
+using staticlint::FootprintCtx;
+using staticlint::LintFinding;
+using staticlint::LintReport;
+using staticlint::Severity;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// LintProbe: one knob per seeded hazard
+//===----------------------------------------------------------------------===//
+
+/// A minimal workload over a 512-word array whose footprint (and faithful
+/// runTask) is shaped by the test: each knob seeds exactly one hazard.
+class LintProbe : public Workload {
+public:
+  struct Shape {
+    unsigned NumTasks = 8;
+    /// Ascending distinct reads per transaction (stride NumTasks, so tasks
+    /// partition the words and never conflict).
+    unsigned ReadsPerTx = 2;
+    /// Distinct task-private writes per transaction.
+    unsigned WritesPerTx = 1;
+    /// Every transaction read-modify-writes the shared hot word 9.
+    bool HotWordRmw = false;
+    /// ... and then writes word 3: stripe 3 after stripe 9 is out of
+    /// acquisition order when sorting is disabled.
+    bool SecondWordDescending = false;
+    /// Task 0 stores natively into the hot word (strong-isolation hazard).
+    bool NativePoke = false;
+    /// Caps handed to tuneStm.
+    unsigned ReadSetCap = 64;
+    unsigned WriteSetCap = 64;
+    unsigned LockLogBucketCap = 64;
+  };
+
+  explicit LintProbe(const Shape &S) : S(S) {}
+
+  const char *name() const override { return "LintProbe"; }
+  size_t sharedDataWords() const override { return 512; }
+  KernelSpec kernelSpec(unsigned) const override { return {S.NumTasks, false, 0}; }
+
+  void setup(simt::Device &Dev) override {
+    Base = Dev.hostAlloc(512);
+    Dev.hostFill(Base, 512, 0);
+  }
+
+  void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
+               unsigned Task) override {
+    (void)K;
+    if (S.NativePoke && Task == 0)
+      Ctx.store(Base + HotWord, 7);
+    Stm.transaction(Ctx, [&](stm::Tx &T) {
+      for (unsigned I = 0; I < S.ReadsPerTx; ++I) {
+        (void)T.read(readAddr(Task, I));
+        if (!T.valid())
+          return;
+      }
+      for (unsigned I = 0; I < S.WritesPerTx; ++I)
+        T.write(writeAddr(Task, I), Task + 1);
+      if (S.HotWordRmw) {
+        Word V = T.read(Base + HotWord);
+        if (!T.valid())
+          return;
+        T.write(Base + HotWord, V + 1);
+        if (S.SecondWordDescending)
+          T.write(Base + ColdWord, Task);
+      }
+    });
+  }
+
+  bool verify(const simt::Device &, const stm::StmCounters &,
+              std::string &) const override {
+    return true;
+  }
+
+  void tuneStm(stm::StmConfig &C) const override {
+    C.ReadSetCap = S.ReadSetCap;
+    C.WriteSetCap = S.WriteSetCap;
+    C.LockLogBucketCap = S.LockLogBucketCap;
+  }
+
+  bool staticFootprint(unsigned K, FootprintCtx &Ctx) const override {
+    (void)K;
+    if (Base == simt::InvalidAddr)
+      return false;
+    for (unsigned Task = 0; Task < S.NumTasks; ++Task) {
+      Ctx.beginTask(Task);
+      if (S.NativePoke && Task == 0)
+        Ctx.nativeStore(Base + HotWord);
+      Ctx.txBegin();
+      for (unsigned I = 0; I < S.ReadsPerTx; ++I)
+        Ctx.txRead(readAddr(Task, I));
+      for (unsigned I = 0; I < S.WritesPerTx; ++I)
+        Ctx.txWrite(writeAddr(Task, I));
+      if (S.HotWordRmw) {
+        Ctx.txRead(Base + HotWord);
+        Ctx.txWrite(Base + HotWord);
+        if (S.SecondWordDescending)
+          Ctx.txWrite(Base + ColdWord);
+      }
+      Ctx.txEnd();
+    }
+    return true;
+  }
+
+private:
+  static constexpr Addr HotWord = 9;
+  static constexpr Addr ColdWord = 3;
+
+  // Reads live in [16, 16 + ReadsPerTx * NumTasks), one residue class per
+  // task; writes in [400, 400 + WritesPerTx * NumTasks).  Disjoint from
+  // each other and from the hot/cold words, so only the knobs conflict.
+  Addr readAddr(unsigned Task, unsigned I) const {
+    return Base + 16 + Task + I * S.NumTasks;
+  }
+  Addr writeAddr(unsigned Task, unsigned I) const {
+    return Base + 400 + Task * S.WritesPerTx + I;
+  }
+
+  Shape S;
+  Addr Base = simt::InvalidAddr;
+};
+
+HarnessConfig probeConfig() {
+  HarnessConfig HC;
+  HC.Kind = stm::Variant::HVSorting;
+  HC.NumLocks = 1u << 10;
+  HC.Launches = {{2, 4}}; // 8 threads: every probe task on its own thread.
+  return HC;
+}
+
+LintReport lintProbe(const LintProbe::Shape &S, const HarnessConfig &HC) {
+  LintProbe W(S);
+  LintDriverResult R = lintWorkload(W, HC);
+  EXPECT_TRUE(R.Modeled);
+  return R.Report;
+}
+
+std::vector<std::string> checkIds(const LintReport &Rep) {
+  std::vector<std::string> Ids;
+  for (const LintFinding &F : Rep.Findings)
+    Ids.push_back(F.CheckId);
+  return Ids;
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded mutations
+//===----------------------------------------------------------------------===//
+
+TEST(StmLint, CleanProbeHasNoFindings) {
+  LintReport Rep = lintProbe({}, probeConfig());
+  EXPECT_TRUE(Rep.Findings.empty()) << checkIds(Rep).size() << " findings";
+  ASSERT_EQ(Rep.Kernels.size(), 1u);
+  EXPECT_EQ(Rep.Kernels[0].ConflictPairs, 0u);
+  EXPECT_EQ(Rep.Kernels[0].WorstReadLog, 2u);
+  EXPECT_EQ(Rep.Kernels[0].WorstWriteLog, 1u);
+}
+
+TEST(StmLint, CapacityOverflowReadLog) {
+  LintProbe::Shape S;
+  S.ReadsPerTx = 40;
+  S.ReadSetCap = 16; // 40 needed
+  LintReport Rep = lintProbe(S, probeConfig());
+  ASSERT_EQ(Rep.Findings.size(), 1u) << "want exactly the seeded finding";
+  EXPECT_EQ(Rep.Findings[0].CheckId, "capacity.read-log");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Error);
+  EXPECT_EQ(Rep.Kernels[0].WorstReadLog, 40u);
+}
+
+TEST(StmLint, CapacityOverflowWriteLog) {
+  LintProbe::Shape S;
+  S.WritesPerTx = 10;
+  S.WriteSetCap = 4;
+  LintReport Rep = lintProbe(S, probeConfig());
+  ASSERT_EQ(Rep.Findings.size(), 1u);
+  EXPECT_EQ(Rep.Findings[0].CheckId, "capacity.write-log");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Error);
+  EXPECT_EQ(Rep.Kernels[0].WorstWriteLog, 10u);
+}
+
+TEST(StmLint, CapacityOverflowLockBucket) {
+  // 40 stride-8 stripes fill each covered 64-stripe bucket (1024 locks /
+  // 16 buckets) with ~8 entries; a 4-entry bucket cap cannot hold them
+  // even though the read and write logs fit.
+  LintProbe::Shape S;
+  S.ReadsPerTx = 40;
+  S.ReadSetCap = 64;
+  S.LockLogBucketCap = 4;
+  LintReport Rep = lintProbe(S, probeConfig());
+  ASSERT_EQ(Rep.Findings.size(), 1u);
+  EXPECT_EQ(Rep.Findings[0].CheckId, "capacity.lock-log");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Error);
+}
+
+TEST(StmLint, NativeWriteOverlapIsIsolationError) {
+  LintProbe::Shape S;
+  S.HotWordRmw = true; // every transaction touches the hot word...
+  S.NativePoke = true; // ...and task 0 also stores into it natively.
+  LintReport Rep = lintProbe(S, probeConfig());
+  ASSERT_EQ(Rep.Findings.size(), 1u);
+  EXPECT_EQ(Rep.Findings[0].CheckId, "isolation.native-overlap");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Error);
+  // All tasks RMW one word from distinct threads: every pair conflicts.
+  EXPECT_DOUBLE_EQ(Rep.Kernels[0].PredictedDensity, 1.0);
+}
+
+TEST(StmLint, UnsortedAcquireUnderDisableSorting) {
+  LintProbe::Shape S;
+  S.HotWordRmw = true;
+  S.SecondWordDescending = true; // stripe 9 before stripe 3
+  HarnessConfig HC = probeConfig();
+  HC.DisableSorting = true;
+  LintReport Rep = lintProbe(S, HC);
+  ASSERT_EQ(Rep.Findings.size(), 1u);
+  EXPECT_EQ(Rep.Findings[0].CheckId, "order.unsorted-acquire");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Warning);
+  EXPECT_EQ(Rep.errors(), 0u);
+
+  // The same footprint with sorting enabled is fine: the runtime acquires
+  // in stripe order regardless of encounter order.
+  LintReport Sorted = lintProbe(S, probeConfig());
+  EXPECT_TRUE(Sorted.Findings.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-built summaries: capacity accounting and striping corner cases
+//===----------------------------------------------------------------------===//
+
+TEST(StmLint, OwnWriteReadsAreNotLogged) {
+  simt::LaunchConfig L{2, 4};
+  FootprintCtx Ctx(0, L, false, 2);
+  for (unsigned T = 0; T < 2; ++T) {
+    Ctx.beginTask(T);
+    Ctx.txBegin();
+    Ctx.txRead(100);  // logged
+    Ctx.txWrite(100); // read of 100 below hits the own-write buffer
+    Ctx.txRead(100);
+    Ctx.txRead(101); // logged
+    Ctx.txEnd();
+  }
+  std::vector<staticlint::KernelSummary> Ks;
+  Ks.push_back(Ctx.take());
+  stm::StmConfig SC;
+  SC.NumLocks = 1u << 10;
+  LintReport Rep = staticlint::lintSummaries("hand", SC, Ks);
+  ASSERT_EQ(Rep.Kernels.size(), 1u);
+  EXPECT_EQ(Rep.Kernels[0].WorstReadLog, 2u);
+  EXPECT_EQ(Rep.Kernels[0].WorstWriteLog, 1u);
+  EXPECT_EQ(Rep.Kernels[0].WorstLockTotal, 2u); // stripes 100 and 101 once
+}
+
+TEST(StmLint, StripeCollisionRecommendsWiderTable) {
+  // 16 tasks write 16 distinct words: zero true conflicts, but a 2-stripe
+  // lock table folds them into two all-conflicting groups.
+  simt::LaunchConfig L{4, 4};
+  FootprintCtx Ctx(0, L, false, 16);
+  for (unsigned T = 0; T < 16; ++T) {
+    Ctx.beginTask(T);
+    Ctx.txBegin();
+    Ctx.txWrite(100 + T);
+    Ctx.txEnd();
+  }
+  std::vector<staticlint::KernelSummary> Ks;
+  Ks.push_back(Ctx.take());
+  stm::StmConfig SC;
+  SC.NumLocks = 2;
+  LintReport Rep = staticlint::lintSummaries("hand", SC, Ks);
+  ASSERT_EQ(Rep.Findings.size(), 1u);
+  EXPECT_EQ(Rep.Findings[0].CheckId, "stripe.collision");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Warning);
+  const staticlint::KernelLintMetrics &M = Rep.Kernels[0];
+  EXPECT_EQ(M.ConflictPairs, 0u);
+  EXPECT_EQ(M.StripeConflictPairs, 2u * (8 * 7 / 2));
+  // Doubling 2 -> 4 -> 8 -> 16 reaches zero false pairs (16 distinct
+  // addresses spread over 16 stripes).
+  EXPECT_EQ(M.RecommendedLocks, 16u);
+}
+
+TEST(StmLint, InvalidConfigShortCircuits) {
+  simt::LaunchConfig L{2, 4};
+  FootprintCtx Ctx(0, L, false, 1);
+  Ctx.beginTask(0);
+  Ctx.txBegin();
+  Ctx.txRead(5);
+  Ctx.txEnd();
+  std::vector<staticlint::KernelSummary> Ks;
+  Ks.push_back(Ctx.take());
+  stm::StmConfig SC;
+  SC.NumLocks = 7; // not a power of two
+  LintReport Rep = staticlint::lintSummaries("hand", SC, Ks);
+  ASSERT_EQ(Rep.Findings.size(), 1u);
+  EXPECT_EQ(Rep.Findings[0].CheckId, "config.invalid");
+  EXPECT_EQ(Rep.Findings[0].Sev, Severity::Error);
+  EXPECT_TRUE(Rep.Kernels.empty()); // caps are nonsense; no metrics
+}
+
+TEST(StmLint, ThreadMappingMatchesHarness) {
+  simt::LaunchConfig L{4, 32};
+  FootprintCtx Flat(0, L, /*BlockLevel=*/false, 300);
+  EXPECT_EQ(Flat.threadForTask(5), 5u);
+  EXPECT_EQ(Flat.threadForTask(129), 1u); // mod 128 total threads
+  FootprintCtx Block(0, L, /*BlockLevel=*/true, 300);
+  EXPECT_EQ(Block.threadForTask(5), 1u * 32u); // (5 % 4) * 32
+  EXPECT_EQ(Block.threadForTask(8), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Clean real workloads and the harness GPUSTM_LINT path
+//===----------------------------------------------------------------------===//
+
+TEST(StmLint, RealWorkloadMatrixSubsetIsClean) {
+  for (stm::Variant V : {stm::Variant::HVSorting, stm::Variant::HVBackoff,
+                         stm::Variant::VBV, stm::Variant::EGPGV}) {
+    for (const char *Name : {"RA", "KM"}) {
+      std::unique_ptr<Workload> W = makeWorkload(Name);
+      HarnessConfig HC;
+      HC.Kind = V;
+      HC.NumLocks = 1u << 16;
+      HC.Launches = paperLaunches(Name);
+      LintDriverResult R = lintWorkload(*W, HC);
+      ASSERT_TRUE(R.Modeled) << Name;
+      EXPECT_TRUE(R.Report.Findings.empty())
+          << Name << " / " << stm::variantName(V) << ": first finding "
+          << (R.Report.Findings.empty() ? ""
+                                        : R.Report.Findings[0].CheckId);
+    }
+  }
+}
+
+TEST(StmLint, HarnessLintOnCleanRunIsNonFatal) {
+  ASSERT_EQ(setenv("GPUSTM_LINT", "1", 1), 0);
+  LintProbe W({});
+  HarnessResult R = runWorkload(W, probeConfig());
+  ASSERT_EQ(unsetenv("GPUSTM_LINT"), 0);
+  EXPECT_TRUE(R.Completed) << R.Error;
+  EXPECT_TRUE(R.Verified) << R.Error;
+}
+
+TEST(StmLintDeathTest, HarnessDiesBeforeLaunchOnCapacityError) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  LintProbe::Shape S;
+  S.ReadsPerTx = 40;
+  S.ReadSetCap = 16;
+  LintProbe W(S);
+  HarnessConfig HC = probeConfig();
+  ASSERT_EQ(setenv("GPUSTM_LINT", "1", 1), 0);
+  EXPECT_DEATH(runWorkload(W, HC),
+               "stmlint: 1 pre-launch error\\(s\\) for LintProbe; "
+               "refusing to launch");
+  ASSERT_EQ(unsetenv("GPUSTM_LINT"), 0);
+  // Off (the default): the same overflowing workload reaches the runtime's
+  // own dynamic overflow diagnostics instead of the pre-launch gate -- the
+  // lint path never alters an un-linted run.
+}
+
+} // namespace
