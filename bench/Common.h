@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -193,9 +194,10 @@ public:
   Row row() { return Row(*this); }
 
   /// Write BENCH_<name>.json now (also called by the destructor).  The
-  /// header carries the host throughput context: the worker count and the
-  /// bench's total wall time (construction to write).  Comparisons for
-  /// determinism must exclude the wall_ms* fields.
+  /// header carries the host throughput context: the machine's core count,
+  /// the GPUSTM_JOBS / GPUSTM_DEVICE_JOBS worker counts, and the bench's
+  /// total wall time (construction to write).  Comparisons for determinism
+  /// must exclude the wall_ms* fields and the jobs/device_jobs knobs.
   void write() {
     Written = true;
     double WallMsTotal =
@@ -208,9 +210,12 @@ public:
       std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
       return;
     }
-    std::fprintf(
-        F, "{\"bench\":\"%s\",\"scale\":%u,\"jobs\":%u,\"wall_ms_total\":%.3f,",
-        Name.c_str(), benchScale(), hostJobs(), WallMsTotal);
+    std::fprintf(F,
+                 "{\"bench\":\"%s\",\"scale\":%u,\"host_cores\":%u,"
+                 "\"jobs\":%u,\"device_jobs\":%u,\"wall_ms_total\":%.3f,",
+                 Name.c_str(), benchScale(),
+                 std::thread::hardware_concurrency(), hostJobs(),
+                 deviceJobs(), WallMsTotal);
     std::fprintf(F, "\"rows\":[\n");
     for (size_t I = 0; I < Rows.size(); ++I)
       std::fprintf(F, "%s%s\n", Rows[I].c_str(),

@@ -39,32 +39,28 @@ int main() {
   std::vector<stm::Variant> Variants = figure2Variants();
   std::vector<std::string> Names = filterWorkloads(figure2WorkloadNames());
 
-  // Build the full (workload x (CGL + variant)) cell list, run it on the
-  // sweep runner, then render in matrix order.
-  struct Cell {
-    std::string Workload;
-    stm::Variant Kind = stm::Variant::CGL;
-    HarnessConfig HC;
-  };
-  std::vector<Cell> Cells;
-  for (const std::string &Name : Names) {
-    HarnessConfig HC;
-    HC.Launches = launchFor(Name, Scale);
-    HC.NumLocks = NumLocks;
-    HarnessConfig CglHC = HC;
-    CglHC.Kind = stm::Variant::CGL;
-    Cells.push_back({Name, stm::Variant::CGL, CglHC});
-    for (stm::Variant V : Variants) {
-      HarnessConfig Run = HC;
-      Run.Kind = V;
-      Cells.push_back({Name, V, Run});
-    }
-  }
-
-  std::vector<HarnessResult> Results =
-      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
-        auto W = makeWorkload(Cells[I].Workload, Scale);
-        return runWorkload(*W, Cells[I].HC);
+  // One sweep cell per workload row: the workload (generated inputs) and
+  // its device arena are built once, then the CGL baseline and every
+  // variant run warm on the same ExecutionContext.  Results are
+  // bit-identical to per-cell fresh runs (the warm-reuse identity the
+  // serve tests pin down); only the per-launch rebuild waste is gone.
+  std::vector<std::vector<HarnessResult>> Rows =
+      runSweep<std::vector<HarnessResult>>(Names.size(), [&](size_t I) {
+        auto W = makeWorkload(Names[I], Scale);
+        HarnessConfig HC;
+        HC.Launches = launchFor(Names[I], Scale);
+        HC.NumLocks = NumLocks;
+        HC.Kind = stm::Variant::CGL;
+        ExecutionContext Ctx(*W, HC);
+        std::vector<HarnessResult> Row;
+        Row.reserve(1 + Variants.size());
+        Row.push_back(Ctx.run(HC));
+        for (stm::Variant V : Variants) {
+          HarnessConfig Run = HC;
+          Run.Kind = V;
+          Row.push_back(Ctx.run(Run));
+        }
+        return Row;
       });
 
   std::printf("%-4s %-10s", "WL", "CGL-cycles");
@@ -72,8 +68,10 @@ int main() {
     std::printf(" %15s", stm::variantName(V));
   std::printf("\n");
 
-  size_t CellIdx = 0;
+  size_t RowIdx = 0;
   for (const std::string &Name : Names) {
+    size_t CellIdx = 0;
+    const std::vector<HarnessResult> &Results = Rows[RowIdx++];
     const HarnessResult &CglR = Results[CellIdx++];
     if (!CglR.Completed || !CglR.Verified)
       reportFatalError("CGL baseline failed: " + CglR.Error);

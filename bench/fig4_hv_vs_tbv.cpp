@@ -52,7 +52,10 @@ int main() {
   const stm::Variant PanelVariants[2] = {stm::Variant::TBVSorting,
                                          stm::Variant::HVSorting};
 
-  // Cell list: (shared x threads x locks) x (CGL + TBV + HV).
+  // One sweep cell per (shared x threads x locks) triple: the EigenBench
+  // inputs and device arena are generated once, then CGL, TBV, and HV run
+  // warm on the same ExecutionContext (bit-identical to fresh per-variant
+  // runs; see the serve identity tests).
   struct Cell {
     size_t Shared = 0;
     HarnessConfig HC;
@@ -67,25 +70,27 @@ int main() {
         HarnessConfig HC;
         HC.Launches = {L};
         HC.NumLocks = Locks;
-        HarnessConfig CglHC = HC;
-        CglHC.Kind = stm::Variant::CGL;
-        Cells.push_back({Shared, CglHC});
-        for (stm::Variant V : PanelVariants) {
-          HarnessConfig Run = HC;
-          Run.Kind = V;
-          Cells.push_back({Shared, Run});
-        }
+        HC.Kind = stm::Variant::CGL;
+        Cells.push_back({Shared, HC});
       }
     }
   }
 
-  std::vector<HarnessResult> Results =
-      runSweep<HarnessResult>(Cells.size(), [&](size_t I) {
+  std::vector<std::vector<HarnessResult>> Rows =
+      runSweep<std::vector<HarnessResult>>(Cells.size(), [&](size_t I) {
         auto W = ebFor(Cells[I].Shared, Scale);
-        return runWorkload(*W, Cells[I].HC);
+        ExecutionContext Ctx(*W, Cells[I].HC);
+        std::vector<HarnessResult> Row;
+        Row.push_back(Ctx.run(Cells[I].HC));
+        for (stm::Variant V : PanelVariants) {
+          HarnessConfig Run = Cells[I].HC;
+          Run.Kind = V;
+          Row.push_back(Ctx.run(Run));
+        }
+        return Row;
       });
 
-  size_t CellIdx = 0;
+  size_t RowIdx = 0;
   for (size_t Shared : SharedSizes) {
     std::printf("\n--- shared data = %s words ---\n",
                 formatCount(Shared).c_str());
@@ -94,6 +99,8 @@ int main() {
                 "TBV-aborts", "HV-aborts");
     for (unsigned Threads : ThreadCounts) {
       for (size_t Locks : LockCounts) {
+        size_t CellIdx = 0;
+        const std::vector<HarnessResult> &Results = Rows[RowIdx++];
         const HarnessResult &CglR = Results[CellIdx++];
         if (!CglR.Completed || !CglR.Verified)
           reportFatalError("CGL baseline failed: " + CglR.Error);

@@ -18,6 +18,8 @@
 #include "stm/LockLog.h"
 #include "support/MathExtras.h"
 #include "support/Random.h"
+#include "workloads/Harness.h"
+#include "workloads/RandomArray.h"
 
 #include <benchmark/benchmark.h>
 
@@ -281,6 +283,55 @@ void BM_WarpRoundThroughput(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(Rounds));
 }
 BENCHMARK(BM_WarpRoundThroughput);
+
+//===----------------------------------------------------------------------===//
+// Cold vs warm transactional kernel launch
+//===----------------------------------------------------------------------===//
+
+workloads::HarnessConfig coldWarmConfig() {
+  workloads::HarnessConfig HC;
+  HC.Kind = stm::Variant::HVSorting;
+  HC.NumLocks = 1u << 12;
+  HC.Launches = {{4, 64}};
+  return HC;
+}
+
+workloads::RandomArray::Params coldWarmParams() {
+  workloads::RandomArray::Params P;
+  P.ArrayWords = 1u << 12;
+  P.NumTx = 1u << 8;
+  return P;
+}
+
+/// The one-shot path stmserve replaces: workload construction, device
+/// arena, setup, and the kernel, all per launch.
+void BM_ColdVsWarmLaunch_Cold(benchmark::State &State) {
+  workloads::HarnessConfig HC = coldWarmConfig();
+  uint64_t Commits = 0;
+  for (auto _ : State) {
+    workloads::RandomArray W(coldWarmParams());
+    workloads::ExecutionContext Ctx(W, HC);
+    workloads::HarnessResult R = Ctx.run(HC);
+    Commits += R.Stm.Commits;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Commits));
+}
+BENCHMARK(BM_ColdVsWarmLaunch_Cold)->Unit(benchmark::kMillisecond);
+
+/// The warm path: the same request on a persistent ExecutionContext
+/// (arena rewind + input reset per iteration, nothing rebuilt).
+void BM_ColdVsWarmLaunch_Warm(benchmark::State &State) {
+  workloads::HarnessConfig HC = coldWarmConfig();
+  workloads::RandomArray W(coldWarmParams());
+  workloads::ExecutionContext Ctx(W, HC);
+  uint64_t Commits = 0;
+  for (auto _ : State) {
+    workloads::HarnessResult R = Ctx.run(HC);
+    Commits += R.Stm.Commits;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Commits));
+}
+BENCHMARK(BM_ColdVsWarmLaunch_Warm)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,221 @@
+//===- bench/server_throughput.cpp - stmserve latency / throughput --------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput-server bench (ROADMAP open item 4): serves a deterministic
+/// mixed-variant request stream through serve::StmServer and reports what
+/// warm arena reuse and result memoization buy over one-shot runs.
+///
+/// Three measurements per request class (workload x variant x scale):
+///   * one-shot: fresh runWorkload() per request -- the serial baseline and
+///     the reference digest every served result must match bit-for-bit.
+///   * cold: first served request of its context key (arena + setup built).
+///   * warm / cached: later requests (rewind + reset, or memoized).
+///
+/// Knobs: GPUSTM_SERVER_WORKERS (pool size; the bench defaults to 8),
+/// GPUSTM_SERVER_BENCH_REPEATS (stream rounds, default 6),
+/// GPUSTM_BENCH_WORKLOADS (workload filter), GPUSTM_SCALE.
+/// Writes BENCH_server.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gpustm;
+using namespace gpustm::bench;
+using namespace gpustm::serve;
+
+namespace {
+
+/// The request classes in the stream.  VBV rides only on HT: on RA/LB its
+/// full-read-set revalidation makes single requests take minutes of host
+/// time, which measures the simulator, not the server.
+std::vector<Request> benchClasses(unsigned Scale) {
+  std::vector<Request> Classes;
+  for (const std::string &W : filterWorkloads({"RA", "HT", "KM"})) {
+    for (stm::Variant V :
+         {stm::Variant::CGL, stm::Variant::EGPGV, stm::Variant::VBV,
+          stm::Variant::TBVSorting, stm::Variant::HVSorting,
+          stm::Variant::HVBackoff, stm::Variant::Optimized}) {
+      if (V == stm::Variant::VBV && W != "HT")
+        continue;
+      Request R;
+      R.Workload = W;
+      R.Kind = V;
+      R.Scale = Scale;
+      Classes.push_back(R);
+    }
+  }
+  return Classes;
+}
+
+struct Reference {
+  uint64_t Digest = 0;
+  double OneShotMs = 0; ///< Wall time of a fresh runWorkload().
+};
+
+} // namespace
+
+int main() {
+  printBanner("stmserve throughput: warm arena reuse vs one-shot launches",
+              "Section 6 methodology served as a request stream");
+
+  BenchJson Json("server");
+  unsigned Scale = benchScale();
+  unsigned Repeats = static_cast<unsigned>(
+      envUnsignedInRange("GPUSTM_SERVER_BENCH_REPEATS", 6, 1, 1u << 12));
+  std::vector<Request> Classes = benchClasses(Scale);
+
+  // The serial baseline doubles as the identity reference: one fresh
+  // one-shot run per class, timed end to end (workload + device + setup +
+  // kernels), exactly what a client pays without the server.
+  std::printf("\n-- one-shot baseline (%zu classes) --\n", Classes.size());
+  std::map<std::string, Reference> Refs;
+  for (const Request &R : Classes) {
+    auto W = workloads::makeWorkload(R.Workload, R.Scale);
+    workloads::HarnessConfig HC = requestConfig(R);
+    auto T0 = std::chrono::steady_clock::now();
+    workloads::HarnessResult HR = workloads::runWorkload(*W, HC);
+    double Ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - T0)
+            .count();
+    if (!HR.Completed || !HR.Verified)
+      reportFatalError("one-shot reference run failed for " + requestKey(R) +
+                       ": " + HR.Error);
+    Reference Ref;
+    Ref.Digest = workloads::resultDigest(HR);
+    Ref.OneShotMs = Ms;
+    Refs[requestKey(R)] = Ref;
+    std::printf("  %-22s %10.2f ms  %016llx\n", requestKey(R).c_str(), Ms,
+                static_cast<unsigned long long>(Ref.Digest));
+  }
+
+  // The stream: Repeats rounds over the class list, interleaved so every
+  // context key alternates variants (the multi-tenant pattern the server
+  // batches for).
+  std::vector<Request> Stream;
+  for (unsigned Round = 0; Round < Repeats; ++Round)
+    Stream.insert(Stream.end(), Classes.begin(), Classes.end());
+
+  ServerConfig SC;
+  SC.Workers = static_cast<unsigned>(
+      envUnsignedInRange("GPUSTM_SERVER_WORKERS", 8, 1, 256));
+  std::printf("\n-- serving %zu requests on %u workers --\n", Stream.size(),
+              SC.Workers);
+  StmServer Server(SC);
+  auto S0 = std::chrono::steady_clock::now();
+  std::vector<RequestResult> Results = Server.serve(Stream);
+  double ServerWallMs =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - S0)
+          .count();
+
+  // Identity gate: every served result must be bit-identical to its
+  // one-shot reference.  A mismatch means the warm-reuse fast path changed
+  // a modeled number, which voids the whole experiment.
+  double SerialTotalMs = 0;
+  uint64_t Commits = 0;
+  std::map<std::string, std::vector<double>> ColdMs, WarmExecMs, CachedMs;
+  std::vector<double> AllE2EMs;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const RequestResult &R = Results[I];
+    const Reference &Ref = Refs[requestKey(R.Req)];
+    if (!R.Ok)
+      reportFatalError("served request " + requestKey(R.Req) + " failed: " +
+                       R.Error);
+    if (R.Digest != Ref.Digest)
+      reportFatalError(formatString(
+          "served result for %s diverged from one-shot: %016llx vs %016llx",
+          requestKey(R.Req).c_str(),
+          static_cast<unsigned long long>(R.Digest),
+          static_cast<unsigned long long>(Ref.Digest)));
+    SerialTotalMs += Ref.OneShotMs;
+    Commits += R.Commits;
+    (R.Temp == Temperature::Cold    ? ColdMs
+     : R.Temp == Temperature::Warm ? WarmExecMs
+                                   : CachedMs)[R.Req.Workload]
+        .push_back(R.ServiceMs);
+    AllE2EMs.push_back(R.TotalMs);
+  }
+  std::printf("identity: all %zu served results match one-shot digests\n",
+              Results.size());
+
+  std::printf("\n%-4s %-12s %-12s %-12s %-12s %-8s\n", "", "cold p50",
+              "warm p50", "warm-exec", "cached p50", "speedup");
+  for (const std::string &W : filterWorkloads({"RA", "HT", "KM"})) {
+    LatencyStats Cold = latencyStats(ColdMs[W]);
+    LatencyStats WarmExec = latencyStats(WarmExecMs[W]);
+    LatencyStats Cached = latencyStats(CachedMs[W]);
+    // "Warm" as a client sees it: anything after the first request of the
+    // class -- recycled-context executions and memoized hits together.
+    std::vector<double> WarmAll = WarmExecMs[W];
+    WarmAll.insert(WarmAll.end(), CachedMs[W].begin(), CachedMs[W].end());
+    LatencyStats Warm = latencyStats(WarmAll);
+    double Speedup = Warm.P50 > 0 ? Cold.P50 / Warm.P50 : 0;
+    std::printf("%-4s %9.2f ms %9.2f ms %9.2f ms %9.4f ms %s\n", W.c_str(),
+                Cold.P50, Warm.P50, WarmExec.P50, Cached.P50,
+                fmtSpeedup(Speedup).c_str());
+    Json.row()
+        .str("workload", W)
+        .num("cold_p50_ms", Cold.P50)
+        .num("cold_p95_ms", Cold.P95)
+        .num("cold_p99_ms", Cold.P99)
+        .num("warm_p50_ms", Warm.P50)
+        .num("warm_p95_ms", Warm.P95)
+        .num("warm_p99_ms", Warm.P99)
+        .num("warm_exec_p50_ms", WarmExec.P50)
+        .num("cached_p50_ms", Cached.P50)
+        .num("cold_count", static_cast<uint64_t>(Cold.Count))
+        .num("warm_count", static_cast<uint64_t>(Warm.Count))
+        .num("cold_over_warm_p50", Speedup);
+  }
+
+  LatencyStats E2E = latencyStats(AllE2EMs);
+  ServerStats Stats = Server.stats();
+  double ReqPerSec =
+      1e3 * static_cast<double>(Results.size()) / ServerWallMs;
+  double CommitsPerSec = 1e3 * static_cast<double>(Commits) / ServerWallMs;
+  double SerialReqPerSec =
+      1e3 * static_cast<double>(Results.size()) / SerialTotalMs;
+  double ThroughputX = SerialTotalMs / ServerWallMs;
+  std::printf("\nend-to-end p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n", E2E.P50,
+              E2E.P95, E2E.P99);
+  std::printf("aggregate: %.2f req/s, %.0f commits/s on %u workers\n",
+              ReqPerSec, CommitsPerSec, SC.Workers);
+  std::printf("serial one-shot rate: %.2f req/s  ->  throughput %s\n",
+              SerialReqPerSec, fmtSpeedup(ThroughputX).c_str());
+  std::printf("contexts built %llu (vs %zu one-shot devices), cold %llu, "
+              "warm %llu, cached %llu, batches %llu\n",
+              static_cast<unsigned long long>(Stats.ContextsBuilt),
+              Stream.size(), static_cast<unsigned long long>(Stats.ColdRuns),
+              static_cast<unsigned long long>(Stats.WarmRuns),
+              static_cast<unsigned long long>(Stats.CacheHits),
+              static_cast<unsigned long long>(Stats.Batches));
+
+  Json.row()
+      .str("workload", "aggregate")
+      .num("requests", static_cast<uint64_t>(Results.size()))
+      .num("workers", static_cast<uint64_t>(SC.Workers))
+      .num("e2e_p50_ms", E2E.P50)
+      .num("e2e_p95_ms", E2E.P95)
+      .num("e2e_p99_ms", E2E.P99)
+      .num("requests_per_sec", ReqPerSec)
+      .num("commits_per_sec", CommitsPerSec)
+      .num("serial_requests_per_sec", SerialReqPerSec)
+      .num("throughput_vs_oneshot", ThroughputX)
+      .num("contexts_built", Stats.ContextsBuilt)
+      .num("cold_runs", Stats.ColdRuns)
+      .num("warm_runs", Stats.WarmRuns)
+      .num("cache_hits", Stats.CacheHits)
+      .num("batches", Stats.Batches);
+  Json.write();
+  return 0;
+}

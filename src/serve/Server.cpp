@@ -1,0 +1,284 @@
+//===- serve/Server.cpp - Persistent kernel-stream server -----------------===//
+//
+// Part of the GPU-STM reproduction (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/EnvOptions.h"
+#include "support/Parallel.h"
+#include "workloads/All.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace gpustm;
+using namespace gpustm::serve;
+using Clock = std::chrono::steady_clock;
+
+ServerConfig gpustm::serve::resolveServerConfig(const ServerConfig &Config) {
+  ServerConfig R = Config;
+  if (R.Workers == 0)
+    R.Workers = static_cast<unsigned>(
+        envUnsignedInRange("GPUSTM_SERVER_WORKERS", hostJobs(), 1, 256));
+  if (R.QueueDepth == 0)
+    R.QueueDepth = static_cast<unsigned>(
+        envUnsignedInRange("GPUSTM_SERVER_QUEUE", 64, 1, 1u << 20));
+  if (R.BatchCap == 0)
+    R.BatchCap = static_cast<unsigned>(
+        envUnsignedInRange("GPUSTM_SERVER_BATCH", 8, 1, 4096));
+  if (R.CacheResults < 0)
+    R.CacheResults = envBool("GPUSTM_SERVER_CACHE", true) ? 1 : 0;
+  return R;
+}
+
+const char *gpustm::serve::temperatureName(Temperature T) {
+  switch (T) {
+  case Temperature::Cold:
+    return "cold";
+  case Temperature::Warm:
+    return "warm";
+  case Temperature::Cached:
+    return "cached";
+  }
+  return "?";
+}
+
+LatencyStats gpustm::serve::latencyStats(std::vector<double> SamplesMs) {
+  LatencyStats S;
+  if (SamplesMs.empty())
+    return S;
+  std::sort(SamplesMs.begin(), SamplesMs.end());
+  S.Count = static_cast<unsigned>(SamplesMs.size());
+  auto Pct = [&](double Q) {
+    size_t Rank = static_cast<size_t>(
+        std::ceil(Q * static_cast<double>(SamplesMs.size())));
+    return SamplesMs[std::min(SamplesMs.size() - 1, Rank == 0 ? 0 : Rank - 1)];
+  };
+  S.P50 = Pct(0.50);
+  S.P95 = Pct(0.95);
+  S.P99 = Pct(0.99);
+  S.Max = SamplesMs.back();
+  double Sum = 0;
+  for (double V : SamplesMs)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(SamplesMs.size());
+  return S;
+}
+
+struct StmServer::Job {
+  Request Req;
+  Clock::time_point Enqueued;
+  RequestResult Result;
+  bool Done = false;
+};
+
+/// One warmed execution environment: the workload instance (owning its
+/// cached generated inputs) plus its ExecutionContext (owning the device).
+struct StmServer::WarmContext {
+  std::unique_ptr<workloads::Workload> W;
+  std::unique_ptr<workloads::ExecutionContext> Ctx;
+};
+
+/// The deterministic outcome of a request, minus timing: what a cache hit
+/// can answer without touching a device.
+struct StmServer::CachedResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Digest = 0;
+  uint64_t Cycles = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+};
+
+static double msBetween(Clock::time_point From, Clock::time_point To) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             To - From)
+      .count();
+}
+
+StmServer::StmServer(const ServerConfig &C) : Config(resolveServerConfig(C)) {
+  Workers.reserve(Config.Workers);
+  for (unsigned I = 0; I < Config.Workers; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+StmServer::~StmServer() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void StmServer::submit(const Request &R) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  RoomOrDone.wait(Lock, [&] { return PendingIdx.size() < Config.QueueDepth; });
+  auto J = std::make_unique<Job>();
+  J->Req = R;
+  J->Enqueued = Clock::now();
+  Jobs.push_back(std::move(J));
+  PendingIdx.push_back(Jobs.size() - 1);
+  ++Stats.Requests;
+  Lock.unlock();
+  WorkAvailable.notify_one();
+}
+
+std::vector<RequestResult> StmServer::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  RoomOrDone.wait(Lock, [&] { return CompletedJobs == Jobs.size(); });
+  std::vector<RequestResult> Results;
+  Results.reserve(Jobs.size());
+  for (const std::unique_ptr<Job> &J : Jobs)
+    Results.push_back(J->Result);
+  Jobs.clear();
+  CompletedJobs = 0;
+  return Results;
+}
+
+std::vector<RequestResult>
+StmServer::serve(const std::vector<Request> &Stream) {
+  for (const Request &R : Stream)
+    submit(R);
+  return drain();
+}
+
+ServerStats StmServer::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+void StmServer::workerMain(unsigned WorkerIdx) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkAvailable.wait(Lock, [&] { return Stopping || !PendingIdx.empty(); });
+    if (Stopping)
+      return;
+    // Claim the oldest pending request, then batch every other pending
+    // request with the same context key (workload + scale) behind it, up
+    // to the batch cap: they all run on one warmed context, so only the
+    // variant changes between consecutive launches.
+    std::vector<size_t> Batch;
+    Batch.push_back(PendingIdx.front());
+    PendingIdx.pop_front();
+    std::string Key = contextKey(Jobs[Batch.front()]->Req);
+    for (auto It = PendingIdx.begin();
+         It != PendingIdx.end() && Batch.size() < Config.BatchCap;) {
+      if (contextKey(Jobs[*It]->Req) == Key) {
+        Batch.push_back(*It);
+        It = PendingIdx.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    ++Stats.Batches;
+    RoomOrDone.notify_all(); // Queue room freed; unblock submitters.
+    executeBatch(WorkerIdx, std::move(Batch), Lock);
+    RoomOrDone.notify_all(); // Completions; unblock drain().
+  }
+}
+
+void StmServer::executeBatch(unsigned WorkerIdx, std::vector<size_t> JobIdxs,
+                             std::unique_lock<std::mutex> &Lock) {
+  // Check out an idle warmed context for this batch's key, if any; a miss
+  // builds one lazily outside the lock, charged to the first request that
+  // needs it (that is the cold-latency path being measured).
+  std::string Key = contextKey(Jobs[JobIdxs.front()]->Req);
+  std::unique_ptr<WarmContext> Ctx;
+  auto PoolIt = IdleCtx.find(Key);
+  if (PoolIt != IdleCtx.end() && !PoolIt->second.empty()) {
+    Ctx = std::move(PoolIt->second.back());
+    PoolIt->second.pop_back();
+  }
+
+  for (size_t JI : JobIdxs) {
+    Job &J = *Jobs[JI]; // Stable: jobs are heap-allocated.
+    RequestResult &R = J.Result;
+    R.Req = J.Req;
+    R.Worker = WorkerIdx;
+    Clock::time_point Start = Clock::now();
+    std::string RKey = requestKey(J.Req);
+
+    auto CacheIt = Cache.find(RKey);
+    if (Config.CacheResults > 0 && CacheIt != Cache.end()) {
+      const CachedResult &CR = CacheIt->second;
+      R.Ok = CR.Ok;
+      R.Error = CR.Error;
+      R.Digest = CR.Digest;
+      R.Cycles = CR.Cycles;
+      R.Commits = CR.Commits;
+      R.Aborts = CR.Aborts;
+      R.Temp = Temperature::Cached;
+      ++Stats.CacheHits;
+    } else if (Config.CacheResults > 0 && InFlight.count(RKey)) {
+      // An identical request is executing on another worker: park this one;
+      // it re-enters the queue (and hits the cache) when that lands.
+      Waiters[RKey].push_back(JI);
+      continue;
+    } else {
+      if (Config.CacheResults > 0)
+        InFlight.insert(RKey);
+      Lock.unlock();
+      bool BuiltHere = false;
+      if (!Ctx) {
+        Ctx = std::make_unique<WarmContext>();
+        Ctx->W = workloads::makeWorkload(J.Req.Workload, J.Req.Scale);
+        Ctx->Ctx = std::make_unique<workloads::ExecutionContext>(
+            *Ctx->W, requestConfig(J.Req));
+        BuiltHere = true;
+      }
+      R.Temp = Ctx->Ctx->runsCompleted() == 0 ? Temperature::Cold
+                                              : Temperature::Warm;
+      workloads::HarnessConfig HC = requestConfig(J.Req);
+      HC.Verify = Config.Verify;
+      workloads::HarnessResult HR = Ctx->Ctx->run(HC);
+      R.Ok = HR.Completed && (!Config.Verify || HR.Verified);
+      R.Error = HR.Error;
+      R.Digest = workloads::resultDigest(HR);
+      R.Cycles = HR.TotalCycles;
+      R.Commits = HR.Stm.Commits;
+      R.Aborts = HR.Stm.Aborts;
+      Lock.lock();
+      if (BuiltHere)
+        ++Stats.ContextsBuilt;
+      if (R.Temp == Temperature::Cold)
+        ++Stats.ColdRuns;
+      else
+        ++Stats.WarmRuns;
+      if (Config.CacheResults > 0) {
+        CachedResult CR;
+        CR.Ok = R.Ok;
+        CR.Error = R.Error;
+        CR.Digest = R.Digest;
+        CR.Cycles = R.Cycles;
+        CR.Commits = R.Commits;
+        CR.Aborts = R.Aborts;
+        Cache.emplace(RKey, std::move(CR));
+        InFlight.erase(RKey);
+        auto WIt = Waiters.find(RKey);
+        if (WIt != Waiters.end()) {
+          // Coalesced duplicates go back to the head of the queue; the
+          // cache answers them on the next claim.
+          for (size_t Waiter : WIt->second)
+            PendingIdx.push_front(Waiter);
+          Waiters.erase(WIt);
+          WorkAvailable.notify_all();
+        }
+      }
+    }
+
+    Clock::time_point End = Clock::now();
+    R.QueueMs = msBetween(J.Enqueued, Start);
+    R.ServiceMs = msBetween(Start, End);
+    R.TotalMs = msBetween(J.Enqueued, End);
+    J.Done = true;
+    ++CompletedJobs;
+    RoomOrDone.notify_all();
+  }
+
+  if (Ctx)
+    IdleCtx[Key].push_back(std::move(Ctx));
+}

@@ -23,6 +23,7 @@
 #include "support/Error.h"
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -123,6 +124,20 @@ public:
   void reset() {
     std::fill(Words.begin(), Words.end(), 0);
     AllocCursor = 0;
+  }
+
+  /// Roll the allocator back to \p Mark (a value previously returned by
+  /// allocated()) and zero everything from \p Mark up, exactly as if the
+  /// arena had been freshly constructed and then bump-allocated to \p Mark.
+  /// Contents below \p Mark are preserved; restoring them (to re-run a
+  /// kernel warm) is the caller's job.  Subsequent allocate() calls return
+  /// the same addresses the first pass got, which is what makes warm reuse
+  /// bit-identical to a cold run.
+  void rewind(size_t Mark) {
+    if (Mark > AllocCursor)
+      reportFatalError("Memory::rewind past the allocation cursor");
+    std::fill(Words.begin() + static_cast<ptrdiff_t>(Mark), Words.end(), 0);
+    AllocCursor = Mark;
   }
 
   /// Direct host-side access for initialization and result checking.

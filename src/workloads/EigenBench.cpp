@@ -22,6 +22,17 @@ void EigenBench::setup(simt::Device &Dev) {
   MildBase = Dev.hostAlloc(P.MildWordsPerThread * P.MaxThreads);
 }
 
+bool EigenBench::reset(simt::Device &Dev) {
+  if (HotBase == simt::InvalidAddr)
+    return false;
+  Dev.hostFill(HotBase, P.HotWords, 0);
+  // setup() leaves the mild arena implicitly zero (fresh arenas are), but
+  // the native per-thread work increments it, so a warm pass must zero it
+  // explicitly.
+  Dev.hostFill(MildBase, P.MildWordsPerThread * P.MaxThreads, 0);
+  return true;
+}
+
 void EigenBench::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx,
                          unsigned K, unsigned Task) {
   (void)K;

@@ -52,6 +52,7 @@ public:
   KernelSpec kernelSpec(unsigned) const override { return {P.NumTx, false, 0}; }
 
   void setup(simt::Device &Dev) override;
+  bool reset(simt::Device &Dev) override;
   void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
                unsigned Task) override;
   bool verify(const simt::Device &Dev, const stm::StmCounters &C,

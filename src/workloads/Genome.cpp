@@ -36,6 +36,18 @@ void Genome::setup(simt::Device &Dev) {
     Segments.push_back(static_cast<unsigned>(Rand.nextBelow(P.GenomeLen)));
 }
 
+bool Genome::reset(simt::Device &Dev) {
+  if (TableBase == simt::InvalidAddr || Segments.empty())
+    return false;
+  // The sampled segment list is kept: it is a pure function of the seed, so
+  // re-sampling would only burn time producing the same inputs.
+  Dev.hostFill(TableBase, P.TableWords, 0);
+  Dev.hostFill(PresentBase, P.GenomeLen, 0);
+  Dev.hostFill(ClaimedBase, P.GenomeLen, 0);
+  Dev.hostFill(LinkBase, P.GenomeLen, 0);
+  return true;
+}
+
 void Genome::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
                      unsigned Task) {
   Word Mask = static_cast<Word>(P.TableWords - 1);

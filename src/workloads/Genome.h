@@ -61,6 +61,7 @@ public:
   }
 
   void setup(simt::Device &Dev) override;
+  bool reset(simt::Device &Dev) override;
   void runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
                unsigned Task) override;
   bool verify(const simt::Device &Dev, const stm::StmCounters &C,

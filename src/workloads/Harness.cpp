@@ -115,25 +115,87 @@ StmConfig gpustm::workloads::resolveStmConfig(const Workload &W,
   return SC;
 }
 
-HarnessResult gpustm::workloads::runWorkload(Workload &W,
-                                             const HarnessConfig &Config) {
-  std::vector<LaunchConfig> Launches = resolveLaunches(W, Config);
-  LaunchConfig Max = maxLaunch(Launches);
+ExecutionContext::ExecutionContext(Workload &W, const HarnessConfig &Config)
+    : W(W), Shape(Config) {
+  Launches = resolveLaunches(W, Config);
+  MaxL = maxLaunch(Launches);
   StmConfig SC = resolveStmConfig(W, Config);
 
   // Size the device: shared data + STM metadata + slack.
   simt::DeviceConfig DC = Config.DeviceCfg;
   unsigned WarpSize = DC.WarpSize;
   unsigned WarpsPerBlock =
-      static_cast<unsigned>(divideCeil(Max.BlockDim, WarpSize));
-  size_t NumWarps = static_cast<size_t>(Max.GridDim) * WarpsPerBlock;
+      static_cast<unsigned>(divideCeil(MaxL.BlockDim, WarpSize));
+  size_t NumWarps = static_cast<size_t>(MaxL.GridDim) * WarpsPerBlock;
   size_t LogWords = NumWarps * WarpSize *
                     (2ull * SC.ReadSetCap + 2ull * SC.WriteSetCap +
                      1ull * SC.LockLogBuckets * SC.LockLogBucketCap);
   DC.MemoryWords = W.deviceMemoryWords() + SC.NumLocks + LogWords + NumWarps +
                    (1u << 16) /* slack */;
 
-  simt::Device Dev(DC);
+  Dev = std::make_unique<simt::Device>(DC);
+
+  // One-shot setup: allocates and initializes the workload's device image.
+  // Everything below the recorded mark is recycled by warm runs; everything
+  // above it (STM metadata, logs) is per-run and zeroed by rewind().
+  // Host-side initialization bypasses observer hooks, so running it before
+  // any observer attaches (they attach per run) changes nothing.
+  W.setup(*Dev);
+  SetupMark = Dev->memory().allocated();
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+/// Fatal unless \p Config keeps the shape \p Shape the context was built
+/// for: same per-kernel launches, lock count, and device overrides.  The
+/// variant, ablation knobs, and observers are free to vary per run.
+static void checkRunShape(const Workload &W, const HarnessConfig &Shape,
+                          const std::vector<LaunchConfig> &ShapeLaunches,
+                          const HarnessConfig &Config) {
+  std::vector<LaunchConfig> RunLaunches = resolveLaunches(W, Config);
+  bool SameLaunches = RunLaunches.size() == ShapeLaunches.size();
+  for (size_t I = 0; SameLaunches && I < RunLaunches.size(); ++I)
+    SameLaunches = RunLaunches[I].GridDim == ShapeLaunches[I].GridDim &&
+                   RunLaunches[I].BlockDim == ShapeLaunches[I].BlockDim;
+  const simt::DeviceConfig &A = Shape.DeviceCfg;
+  const simt::DeviceConfig &B = Config.DeviceCfg;
+  // MemoryWords is computed by the context (the caller's value is ignored
+  // on both paths); the timing model is part of the device and must not be
+  // re-tuned per request by construction of the callers.
+  bool SameDevice =
+      A.WarpSize == B.WarpSize && A.NumSMs == B.NumSMs &&
+      A.MaxBlocksPerSM == B.MaxBlocksPerSM &&
+      A.MaxWarpsPerSM == B.MaxWarpsPerSM &&
+      A.MaxThreadsPerSM == B.MaxThreadsPerSM &&
+      A.StackBytes == B.StackBytes && A.WatchdogRounds == B.WatchdogRounds &&
+      A.DeviceJobs == B.DeviceJobs && A.SchedFuzzSeed == B.SchedFuzzSeed;
+  if (!SameLaunches || !SameDevice || Shape.NumLocks != Config.NumLocks)
+    reportFatalError(formatString(
+        "ExecutionContext: run config for %s changes the context shape "
+        "(launches, lock count, or device overrides)",
+        W.name()));
+}
+
+HarnessResult ExecutionContext::run(const HarnessConfig &Config) {
+  checkRunShape(W, Shape, Launches, Config);
+  StmConfig SC = resolveStmConfig(W, Config);
+  simt::Device &Dev = *this->Dev;
+
+  if (RunsCompleted != 0) {
+    // Warm path: reclaim the per-run STM metadata and restore the workload
+    // image in place.  Workloads that cannot restore in place fall back to
+    // a full re-setup on the (still warm) device; allocation is
+    // deterministic, so the image lands at the same addresses either way.
+    Dev.memory().rewind(SetupMark);
+    if (!W.reset(Dev)) {
+      Dev.memory().rewind(0);
+      W.setup(Dev);
+      if (Dev.memory().allocated() != SetupMark)
+        reportFatalError(formatString(
+            "ExecutionContext: %s re-setup allocated a different footprint",
+            W.name()));
+    }
+  }
 
   // simtsan: a caller-owned observer wins; otherwise GPUSTM_SAN=1 makes the
   // harness own a detector for this run.  Attached before the STM runtime
@@ -178,8 +240,6 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
   if (Wmm)
     Dev.setWmmModel(Wmm);
 
-  W.setup(Dev);
-
   // Pre-launch static analysis (stmlint): with GPUSTM_LINT=1, capacity or
   // isolation errors are fatal before any kernel launches; warnings only
   // print.  Pure host-side work over the already-set-up workload -- no
@@ -197,7 +257,7 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     }
   }
 
-  StmRuntime Stm(Dev, SC, Max);
+  StmRuntime Stm(Dev, SC, MaxL);
 
   // Trace recording: a caller-owned recorder wins; otherwise a configured
   // path (or GPUSTM_TRACE) makes the harness record and serialize the run.
@@ -214,7 +274,7 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     }
   }
   if (Recorder)
-    Recorder->beginRun(W.name(), Dev, Stm, Max);
+    Recorder->beginRun(W.name(), Dev, Stm, MaxL);
 
   HarnessResult Result;
   Result.Completed = true;
@@ -294,15 +354,103 @@ HarnessResult gpustm::workloads::runWorkload(Workload &W,
     if (!Result.Verified)
       Result.Error = Err;
   }
+
+  // Detach per-run observers: the device outlives this run, and the owned
+  // observers do not.
+  if (San)
+    Dev.setSanHooks(nullptr);
+  if (Wmm)
+    Dev.setWmmModel(nullptr);
+
+  ++RunsCompleted;
   return Result;
+}
+
+HarnessResult gpustm::workloads::runWorkload(Workload &W,
+                                             const HarnessConfig &Config) {
+  ExecutionContext Ctx(W, Config);
+  return Ctx.run(Config);
 }
 
 uint64_t gpustm::workloads::cglBaselineCycles(Workload &W,
                                               const HarnessConfig &Config) {
+  ExecutionContext Ctx(W, Config);
+  return cglBaselineCycles(Ctx, Config);
+}
+
+uint64_t gpustm::workloads::cglBaselineCycles(ExecutionContext &Ctx,
+                                              const HarnessConfig &Config) {
   HarnessConfig Cgl = Config;
   Cgl.Kind = Variant::CGL;
-  HarnessResult R = runWorkload(W, Cgl);
+  HarnessResult R = Ctx.run(Cgl);
   if (!R.Completed || (Cgl.Verify && !R.Verified))
     reportFatalError("CGL baseline failed: " + R.Error);
   return R.TotalCycles;
+}
+
+//===----------------------------------------------------------------------===//
+// Result digests
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Incremental FNV-1a over typed fields.
+class Fnv {
+public:
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<unsigned char>(V >> (8 * I)));
+  }
+  void boolean(bool V) { u64(V ? 1 : 0); }
+  void str(const std::string &S) {
+    u64(S.size());
+    for (char C : S)
+      byte(static_cast<unsigned char>(C));
+  }
+  void stats(const StatsSet &S) {
+    auto Entries = S.entries();
+    u64(Entries.size());
+    for (const auto &[Name, Value] : Entries) {
+      str(Name);
+      u64(Value);
+    }
+  }
+  uint64_t value() const { return H; }
+
+private:
+  void byte(unsigned char B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  }
+  uint64_t H = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+uint64_t gpustm::workloads::resultDigest(const HarnessResult &R) {
+  Fnv D;
+  D.boolean(R.Completed);
+  D.boolean(R.WatchdogTripped);
+  D.boolean(R.Verified);
+  D.str(R.Error);
+  D.u64(R.TotalCycles);
+  D.u64(R.KernelCycles.size());
+  for (uint64_t C : R.KernelCycles)
+    D.u64(C);
+  D.u64(R.Stm.Commits);
+  D.u64(R.Stm.ReadOnlyCommits);
+  D.u64(R.Stm.Aborts);
+  D.u64(R.Stm.AbortsReadValidation);
+  D.u64(R.Stm.AbortsCommitValidation);
+  D.u64(R.Stm.LockFailures);
+  D.u64(R.Stm.StaleSnapshots);
+  D.u64(R.Stm.FalseConflictsAvoided);
+  D.u64(R.Stm.VbvRuns);
+  D.u64(R.Stm.TxReads);
+  D.u64(R.Stm.TxWrites);
+  D.stats(R.Sim);
+  D.u64(R.KernelSim.size());
+  for (const StatsSet &S : R.KernelSim)
+    D.stats(S);
+  return D.value();
 }

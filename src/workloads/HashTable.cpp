@@ -27,6 +27,13 @@ void HashTable::setup(simt::Device &Dev) {
   Dev.hostFill(TableBase, P.TableWords, 0);
 }
 
+bool HashTable::reset(simt::Device &Dev) {
+  if (TableBase == simt::InvalidAddr)
+    return false;
+  Dev.hostFill(TableBase, P.TableWords, 0);
+  return true;
+}
+
 void HashTable::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
                         unsigned Task) {
   (void)K;

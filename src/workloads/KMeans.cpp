@@ -30,6 +30,19 @@ void KMeans::setup(simt::Device &Dev) {
   Dev.hostWrite(PointsBase, Points.data(), Points.size());
 }
 
+bool KMeans::reset(simt::Device &Dev) {
+  if (CountBase == simt::InvalidAddr || Points.empty())
+    return false;
+  // Points and centroids are generated host-side once; only the device
+  // image needs restoring.  The point array is read-only during a run, but
+  // rewriting it is cheap and keeps reset correct even if a future kernel
+  // variant scribbles on it.
+  Dev.hostFill(CountBase, P.K, 0);
+  Dev.hostFill(SumBase, static_cast<size_t>(P.K) * P.Dims, 0);
+  Dev.hostWrite(PointsBase, Points.data(), Points.size());
+  return true;
+}
+
 unsigned KMeans::assignmentOf(unsigned Task) const {
   const uint32_t *Pt = &Points[static_cast<size_t>(Task) * P.Dims];
   unsigned Best = 0;

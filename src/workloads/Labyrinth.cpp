@@ -74,6 +74,17 @@ void Labyrinth::setup(simt::Device &Dev) {
   }
 }
 
+bool Labyrinth::reset(simt::Device &Dev) {
+  if (CellsBase == simt::InvalidAddr || Nets.empty())
+    return false;
+  // Nets and the precomputed sorted claim lists are pure functions of the
+  // seed and stay cached; only the grid and per-net status words were
+  // mutated by the previous run.
+  Dev.hostFill(CellsBase, sharedDataWords(), 0);
+  Dev.hostFill(StatusBase, P.NumRoutes, 0);
+  return true;
+}
+
 void Labyrinth::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx, unsigned K,
                         unsigned Task) {
   (void)K;

@@ -21,6 +21,13 @@ void RandomArray::setup(simt::Device &Dev) {
   Dev.hostFill(ArrayBase, P.ArrayWords, 0);
 }
 
+bool RandomArray::reset(simt::Device &Dev) {
+  if (ArrayBase == simt::InvalidAddr)
+    return false;
+  Dev.hostFill(ArrayBase, P.ArrayWords, 0);
+  return true;
+}
+
 void RandomArray::runTask(stm::StmRuntime &Stm, simt::ThreadCtx &Ctx,
                           unsigned K, unsigned Task) {
   (void)K;

@@ -14,6 +14,7 @@ endif()
 function(read_stripped INFILE OUTVAR)
   file(READ "${INFILE}" J)
   string(REGEX REPLACE "\"jobs\":[0-9]+," "" J "${J}")
+  string(REGEX REPLACE "\"device_jobs\":[0-9]+," "" J "${J}")
   string(REGEX REPLACE "\"wall_ms_total\":[0-9.eE+-]+," "" J "${J}")
   string(REGEX REPLACE ",\"wall_ms\":[^,}]+" "" J "${J}")
   string(REGEX REPLACE ",\"rounds_per_sec\":[^,}]+" "" J "${J}")
